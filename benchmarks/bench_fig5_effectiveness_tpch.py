@@ -1,0 +1,75 @@
+"""Fig. 5(a)–(e): effectiveness of the compliance-based optimizer on the
+six TPC-H queries under the four curated expression sets.
+
+Shape assertions (matching the paper): the compliant optimizer produces a
+compliant plan for every (query, set) combination, while the traditional
+optimizer is non-compliant for Q2 under every set and additionally for
+Q3 and Q10 under CR and CR+A.
+"""
+
+import pytest
+
+from repro.bench import effectiveness_tpch
+from repro.optimizer import CompliantOptimizer
+from repro.plan import explain_physical
+from repro.tpch import QUERIES, curated_policies
+
+PAPER_NC = {
+    "T": {"Q2"},
+    "C": {"Q2"},
+    "CR": {"Q2", "Q3", "Q10"},
+    "CR+A": {"Q2", "Q3", "Q10"},
+}
+
+
+def test_fig5a_effectiveness_matrix(catalog, network, report, benchmark):
+    matrix = benchmark.pedantic(
+        lambda: effectiveness_tpch(catalog, network), rounds=1, iterations=1
+    )
+    report.emit("fig5a_effectiveness_tpch", matrix.table())
+    for set_name, expected_nc in PAPER_NC.items():
+        per_query = matrix.cells[set_name]
+        # Compliant optimizer: 100% compliant plans (never NC, never REJ).
+        assert all(c == "C" for _t, c in per_query.values())
+        assert matrix.traditional_nc(set_name) == expected_nc
+
+
+def test_fig5bc_q2_plan_excerpts(catalog, network, report, benchmark):
+    """Fig. 5(b)/(c): print the Q2 plans; the compliant one must not ship
+    Part-derived data into Africa."""
+    policies = curated_policies(catalog, "CR")
+    compliant = CompliantOptimizer(catalog, policies, network)
+    result = benchmark.pedantic(
+        lambda: compliant.optimize(QUERIES["Q2"]), rounds=1, iterations=1
+    )
+    from repro.plan import ship_operators
+
+    for ship in ship_operators(result.plan):
+        if ship.target == "Africa":
+            assert not any(f.name.startswith("p.") for f in ship.fields)
+    report.emit(
+        "fig5c_q2_compliant_plan",
+        "Fig 5(c) — compliant Q2 plan (set CR)\n" + explain_physical(result.plan),
+    )
+
+
+def test_fig5de_q3_aggregation_pushdown(catalog, network, report, benchmark):
+    """Fig. 5(d)/(e): under CR+A the compliant Q3 plan pushes the revenue
+    aggregation below the lineitem SHIP (paper's e5)."""
+    from repro.plan import HashAggregate, ship_operators
+
+    policies = curated_policies(catalog, "CR+A")
+    compliant = CompliantOptimizer(catalog, policies, network)
+    result = benchmark.pedantic(
+        lambda: compliant.optimize(QUERIES["Q3"]), rounds=1, iterations=1
+    )
+    lineitem_ships = [
+        s for s in ship_operators(result.plan) if s.source == "NorthAmerica"
+    ]
+    assert lineitem_ships
+    assert all(isinstance(s.child, HashAggregate) for s in lineitem_ships)
+    report.emit(
+        "fig5e_q3_compliant_plan",
+        "Fig 5(e) — compliant Q3 plan (set CR+A), aggregation pushed below "
+        "the SHIP\n" + explain_physical(result.plan),
+    )

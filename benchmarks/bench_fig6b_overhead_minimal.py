@@ -1,0 +1,45 @@
+"""Fig. 6(b): the minimal overhead of the compliant optimizer — eight
+unrestricted ``ship * from t to *`` expressions, so the extra work is pure
+trait bookkeeping.
+
+Paper shape: roughly 1.2–2× the traditional optimization time, most
+pronounced for the join-heavy Q2; always in the tens-to-hundreds of
+milliseconds, never seconds."""
+
+import pytest
+
+from repro.bench import minimal_policies, optimization_overhead
+from repro.optimizer import CompliantOptimizer, TraditionalOptimizer
+from repro.tpch import QUERIES
+
+
+def test_fig6b_minimal_overhead(catalog, network, report, benchmark):
+    result = benchmark.pedantic(
+        lambda: optimization_overhead(
+            catalog,
+            network,
+            minimal_policies(catalog),
+            label="Fig 6(b) — minimal overhead (8x 'ship * from t to *')",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report.emit("fig6b_overhead_minimal", result.table())
+    for name in QUERIES:
+        factor = result.overhead_factor(name)
+        assert factor < 4.0, f"{name}: compliant optimization {factor:.1f}x slower"
+    # Compliant optimization stays in the sub-second regime per query.
+    for name, (_trad, comp) in result.per_query.items():
+        assert comp.mean_ms < 5000
+
+
+@pytest.mark.parametrize("name", ["Q3", "Q9", "Q5"])
+def test_compliant_optimize_timing(catalog, network, benchmark, name):
+    optimizer = CompliantOptimizer(catalog, minimal_policies(catalog), network)
+    benchmark(lambda: optimizer.optimize(QUERIES[name]))
+
+
+@pytest.mark.parametrize("name", ["Q3", "Q9", "Q5"])
+def test_traditional_optimize_timing(catalog, network, benchmark, name):
+    optimizer = TraditionalOptimizer(catalog, network)
+    benchmark(lambda: optimizer.optimize(QUERIES[name]))

@@ -1,0 +1,39 @@
+"""Fig. 6(g)(h): plan quality — execution (shipping) cost of compliant vs
+traditional plans under sets C and CR, measured by actually executing
+both plans on generated TPC-H data and summing the simulated
+``α + β·bytes`` transfer time of every SHIP.
+
+Paper shape: identical cost (and identical plans, "=") whenever the
+traditional plan is compliant; when it is not (Q2 always; Q3/Q10 under
+CR), the compliant plan can be substantially more expensive — Q2's
+compliant plan ships the big Supplier/Partsupp side instead of the small
+restricted Part side (an 18× overhead in the paper)."""
+
+import pytest
+
+from repro.bench import plan_quality
+
+SCALE = 0.01  # measured bytes scale linearly; shape is scale-free
+
+
+@pytest.mark.parametrize("set_name", ["C", "CR"])
+def test_fig6gh_plan_quality(report, benchmark, set_name):
+    result = benchmark.pedantic(
+        lambda: plan_quality(set_name, scale=SCALE), rounds=1, iterations=1
+    )
+    safe = set_name.replace("+", "_")
+    report.emit(f"fig6gh_plan_quality_{safe}", result.table())
+
+    expected_nc = {"C": {"Q2"}, "CR": {"Q2", "Q3", "Q10"}}[set_name]
+    for row in result.rows:
+        if row.query in expected_nc:
+            assert row.traditional_label == "NC"
+            assert not row.same_plan
+        else:
+            assert row.traditional_label == "C"
+            # Same plan => same cost (the paper's "=" annotations).
+            assert row.same_plan, row.query
+            assert row.scaled_cost == pytest.approx(1.0, rel=1e-6)
+    # Q2's compliance overhead is large (ships the big compliant side).
+    q2 = result.row("Q2")
+    assert q2.scaled_cost > 2.0

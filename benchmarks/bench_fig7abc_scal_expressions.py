@@ -1,0 +1,35 @@
+"""Fig. 7(a)–(c): optimization time vs. the number of policy expressions
+(12, 25, 50, 100 CR+A expressions) for Q2, Q3, and Q10, with the paper's
+η counter (how often an expression is actually applied).
+
+Paper shape: time grows roughly with η — i.e. with the number of
+expressions that *affect the query's search space* — not with the raw
+catalog size; growth is at most linear."""
+
+import pytest
+
+from repro.bench import scalability_expressions
+
+COUNTS = (12, 25, 50, 100)
+
+
+@pytest.mark.parametrize("query_name", ["Q2", "Q3", "Q10"])
+def test_fig7abc_expression_scalability(catalog, network, report, benchmark, query_name):
+    result = benchmark.pedantic(
+        lambda: scalability_expressions(
+            catalog, network, query_name, counts=COUNTS, repetitions=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(f"fig7_{query_name}_expressions", result.table())
+
+    times = [t.mean_ms for _n, t, _e in result.points]
+    etas = [e for _n, _t, e in result.points]
+    # η grows with the number of registered expressions.
+    assert etas == sorted(etas)
+    assert etas[-1] > etas[0]
+    # Sub-linear-to-linear growth: 8.3x more expressions must not blow up
+    # optimization time by more than ~the η growth plus constant factors.
+    eta_growth = max(1.0, etas[-1] / max(1, etas[0]))
+    assert times[-1] / times[0] < max(4.0, 2.0 * eta_growth)

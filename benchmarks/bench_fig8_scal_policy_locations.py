@@ -1,0 +1,29 @@
+"""Fig. 8: optimization time vs. the number of 'to' locations per policy
+expression (8x ``ship * from t to l1..ln`` with n in 3..20).
+
+Paper shape: the number of destinations does not grow the plan space —
+the increase comes only from larger set operations while deriving traits,
+so growth is mild (~1.2–1.7x per doubling for the join-heavy Q2) and site
+selection remains a small fraction of total time."""
+
+import pytest
+
+from repro.bench import scalability_policy_locations
+
+COUNTS = (3, 5, 10, 15, 20)
+
+
+@pytest.mark.parametrize("query_name", ["Q2", "Q3"])
+def test_fig8_policy_location_scalability(report, benchmark, query_name):
+    result = benchmark.pedantic(
+        lambda: scalability_policy_locations(query_name, COUNTS, repetitions=3),
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(f"fig8_{query_name}_locations", result.table())
+    times = [t.mean_ms for _n, t, _p2 in result.points]
+    # Mild growth: 3 -> 20 destination locations far less than linear blowup.
+    assert times[-1] / times[0] < 6.0
+    # Site selection grows with the location count but never dominates.
+    for (_n, t, p2) in result.points:
+        assert p2 < 0.75 * t.mean_ms

@@ -1,0 +1,69 @@
+"""Table 1 (§5): the policy evaluation algorithm 𝒜 on the paper's worked
+example, plus its raw evaluation throughput."""
+
+import pytest
+
+from repro.bench import format_table
+from repro.catalog import Catalog, Column, TableSchema
+from repro.datatypes import DataType
+from repro.policy import PolicyCatalog, PolicyEvaluator, describe_local_query
+from repro.sql import Binder
+
+
+@pytest.fixture(scope="module")
+def world():
+    catalog = Catalog()
+    catalog.add_database("db0", "l0")
+    for loc in ("l1", "l2", "l3", "l4"):
+        catalog.add_database(f"db_{loc}", loc)
+    catalog.add_table(
+        "db0",
+        TableSchema("t", tuple(Column(x, DataType.INTEGER) for x in "abcdefg")),
+        row_count=100,
+    )
+    policies = PolicyCatalog(catalog)
+    policies.add_text("ship a, b, c from t to l2, l3")
+    policies.add_text("ship a, b from t to l1, l2, l3, l4")
+    policies.add_text("ship a, d from t to l1, l3 where b > 10")
+    policies.add_text("ship f, g as aggregates sum, avg from t to l1, l2 group by e, c")
+    binder = Binder(catalog)
+    q1 = describe_local_query(binder.bind_sql("SELECT a, c, d FROM t WHERE b > 15"))
+    q2 = describe_local_query(binder.bind_sql("SELECT c, SUM(f * (1 - g)) FROM t GROUP BY c"))
+    return policies, q1, q2
+
+
+def test_table1_reproduction(world, report, benchmark):
+    policies, q1, q2 = world
+
+    def run():
+        evaluator = PolicyEvaluator(policies)
+        return (
+            evaluator.evaluate(q1, include_home=False),
+            evaluator.evaluate(q2, include_home=False),
+        )
+
+    a_q1, a_q2 = benchmark(run)
+    assert a_q1 == {"l3"}  # paper Table 1
+    assert a_q2 == {"l1", "l2"}  # paper §5 text
+    report.emit(
+        "table1_policy_eval",
+        format_table(
+            ["query", "A(q, D, P)"],
+            [
+                ["q1 = Π_{A,C,D}(σ_{B>15}(T))", sorted(a_q1)],
+                ["q2 = Γ_{C; SUM(F*(1-G))}(T)", sorted(a_q2)],
+            ],
+            title="Table 1 — policy evaluation on the paper's example",
+        ),
+    )
+
+
+def test_policy_evaluation_throughput(world, benchmark):
+    policies, q1, q2 = world
+    evaluator = PolicyEvaluator(policies)
+
+    def run():
+        evaluator.evaluate(q1, include_home=False)
+        evaluator.evaluate(q2, include_home=False)
+
+    benchmark(run)

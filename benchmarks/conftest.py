@@ -1,0 +1,24 @@
+"""Shared fixtures for the figure-reproduction benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Report
+from repro.tpch import build_catalog, default_network
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """Stats-only TPC-H catalog at SF 1 (optimization-time benchmarks)."""
+    return build_catalog(scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def network():
+    return default_network()
+
+
+@pytest.fixture(scope="session")
+def report():
+    return Report()

@@ -1,0 +1,88 @@
+"""Ad-hoc workload study: a compact version of the paper's §7.2/§7.3.
+
+Generates policy expressions from the four templates (T/C/CR/CR+A) and a
+batch of random PK-FK join queries, then reports per template:
+
+* how often the traditional optimizer's plan would violate a policy,
+* the compliant optimizer's success rate (always 100%),
+* average optimization times for both optimizers.
+
+Run:  python examples/adhoc_workload_study.py [n_queries]
+"""
+
+import sys
+import time
+
+from repro.bench import format_table
+from repro.errors import NonCompliantQueryError
+from repro.optimizer import CompliantOptimizer, TraditionalOptimizer, check_compliance
+from repro.policy import PolicyEvaluator
+from repro.tpch import (
+    AdHocQueryGenerator,
+    PolicyGenerator,
+    build_catalog,
+    default_network,
+)
+
+TEMPLATES = {"T": 8, "C": 30, "CR": 30, "CR+A": 30}
+
+
+def main(n_queries: int = 40) -> None:
+    catalog = build_catalog(scale=1.0)
+    network = default_network()
+    queries = AdHocQueryGenerator(seed=99).generate(n_queries)
+    print(f"Generated {n_queries} ad-hoc queries, e.g.:")
+    for query in queries[:3]:
+        print("  ", " ".join(query.sql.split())[:100])
+
+    rows = []
+    for template, n_expressions in TEMPLATES.items():
+        policies = PolicyGenerator(catalog, seed=7, hub="NorthAmerica").generate(
+            template, n_expressions
+        )
+        evaluator = PolicyEvaluator(policies)
+        compliant = CompliantOptimizer(catalog, policies, network, max_expressions=3000)
+        traditional = TraditionalOptimizer(catalog, network, max_expressions=3000)
+        trad_ok = comp_ok = 0
+        trad_ms = comp_ms = 0.0
+        for query in queries:
+            start = time.perf_counter()
+            t_plan = traditional.optimize(query.sql).plan
+            trad_ms += (time.perf_counter() - start) * 1000
+            if not check_compliance(t_plan, evaluator):
+                trad_ok += 1
+            start = time.perf_counter()
+            try:
+                c_result = compliant.optimize(query.sql)
+                comp_ms += (time.perf_counter() - start) * 1000
+                if not check_compliance(c_result.plan, evaluator):
+                    comp_ok += 1
+            except NonCompliantQueryError:
+                comp_ms += (time.perf_counter() - start) * 1000
+        rows.append(
+            [
+                f"{template} ({n_expressions})",
+                f"{trad_ok / n_queries:.2f}",
+                f"{comp_ok / n_queries:.2f}",
+                f"{trad_ms / n_queries:.1f}",
+                f"{comp_ms / n_queries:.1f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "template (#expr)",
+                "traditional compliant",
+                "compliant optimizer",
+                "trad avg [ms]",
+                "compliant avg [ms]",
+            ],
+            rows,
+            title="Ad-hoc workload: compliance rates and optimization times",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40)

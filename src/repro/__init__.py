@@ -1,0 +1,47 @@
+"""repro — Compliant Geo-distributed Query Processing (SIGMOD 2021).
+
+A from-scratch Python reproduction of Beedkar, Quiané-Ruiz & Markl's
+compliance-based query optimizer: declarative dataflow *policy
+expressions*, a policy evaluator, a Volcano-style optimizer annotating
+plans with execution/shipping traits, a dynamic-programming site
+selector, and a geo-distributed execution engine — evaluated on a
+geo-distributed TPC-H adaptation.
+
+Quickstart::
+
+    from repro import tpch
+    from repro.optimizer import CompliantOptimizer
+
+    catalog, geodb = tpch.build_benchmark(scale=0.01)
+    policies = tpch.curated_policies(catalog, "CR")
+    optimizer = CompliantOptimizer(catalog, policies)
+    result = optimizer.optimize(tpch.QUERIES["Q3"])
+    print(result.plan)
+"""
+
+from .errors import (
+    BindingError,
+    CatalogError,
+    ComplianceViolationError,
+    ExecutionError,
+    NonCompliantQueryError,
+    OptimizerError,
+    PolicySyntaxError,
+    ReproError,
+    SqlSyntaxError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BindingError",
+    "CatalogError",
+    "ComplianceViolationError",
+    "ExecutionError",
+    "NonCompliantQueryError",
+    "OptimizerError",
+    "PolicySyntaxError",
+    "ReproError",
+    "SqlSyntaxError",
+    "__version__",
+]

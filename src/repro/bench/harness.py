@@ -1,0 +1,88 @@
+"""Shared benchmark-harness utilities.
+
+Every figure/table of the paper's evaluation (§7) has an experiment
+function in :mod:`repro.bench.experiments` returning a small result
+dataclass; this module provides the common machinery: repeated timing of
+optimizer runs (the paper reports the average of seven runs), simple
+fixed-width table rendering that mimics the paper's figures, and a report
+sink that both prints and persists each experiment's output.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+#: The paper: "We ran each of our considered queries seven times and
+#: report the average."  Benchmarks may lower this for the slow sweeps.
+DEFAULT_REPETITIONS = 7
+
+
+@dataclass
+class TimedRun:
+    """Aggregated wall-clock timings of repeated optimizations."""
+
+    mean_ms: float
+    stdev_ms: float
+    runs: int
+
+    @staticmethod
+    def measure(fn: Callable[[], object], repetitions: int = DEFAULT_REPETITIONS) -> "TimedRun":
+        samples: list[float] = []
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            fn()
+            samples.append((time.perf_counter() - start) * 1000.0)
+        return TimedRun(
+            mean_ms=statistics.fmean(samples),
+            stdev_ms=statistics.stdev(samples) if len(samples) > 1 else 0.0,
+            runs=len(samples),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mean_ms:8.1f} ±{self.stdev_ms:5.1f} ms"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None
+) -> str:
+    """Fixed-width table rendering for the experiment reports."""
+    materialized = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+class Report:
+    """Prints experiment output and persists it under ``results/``."""
+
+    def __init__(self, directory: str | Path = "benchmarks/results") -> None:
+        self.directory = Path(directory)
+
+    def emit(self, name: str, text: str) -> Path:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+        return path
+
+
+def scaled(value: float, baseline: float) -> float:
+    """Paper Fig. 6(g,h): execution cost scaled to the traditional plan."""
+    if baseline <= 0:
+        return 1.0
+    return value / baseline

@@ -1,0 +1,19 @@
+"""Geo-distributed schema catalog and statistics."""
+
+from .schema import Column, ForeignKey, TableSchema
+from .statistics import ColumnStats, TableStats, stats_from_rows, uniform_stats
+from .catalog import Catalog, Database, GlobalTable, StoredTable
+
+__all__ = [
+    "Column",
+    "ForeignKey",
+    "TableSchema",
+    "ColumnStats",
+    "TableStats",
+    "stats_from_rows",
+    "uniform_stats",
+    "Catalog",
+    "Database",
+    "GlobalTable",
+    "StoredTable",
+]

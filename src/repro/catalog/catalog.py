@@ -1,0 +1,164 @@
+"""Geo-distributed catalog: databases, stored tables, and GAV mappings.
+
+The model follows §3 of the paper: the distributed database is a set of
+local databases, each tied to one location (``D_l``), and the
+geo-distributed *global schema* is the union of all local schemas.  A
+global table is either stored whole in one database or horizontally
+fragmented across several databases; fragmented tables use simple GAV
+mappings (global table = union of fragments), which is how §7.5 distributes
+Customer and Orders over locations L1–L5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CatalogError
+from .schema import TableSchema
+from .statistics import TableStats, uniform_stats
+
+
+@dataclass
+class Database:
+    """One local database, tied to a single location."""
+
+    name: str
+    location: str
+
+
+@dataclass
+class StoredTable:
+    """One stored table (or table fragment) inside a local database."""
+
+    database: str
+    location: str
+    schema: TableSchema
+    stats: TableStats = field(default_factory=TableStats)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.database}.{self.schema.name}"
+
+
+@dataclass
+class GlobalTable:
+    """A table of the global schema mapped (GAV) onto stored fragments.
+
+    A non-fragmented table has exactly one fragment.  All fragments share
+    the global table's schema.
+    """
+
+    name: str
+    schema: TableSchema
+    fragments: list[StoredTable]
+
+    @property
+    def is_fragmented(self) -> bool:
+        return len(self.fragments) > 1
+
+    @property
+    def total_rows(self) -> int:
+        return sum(f.stats.row_count for f in self.fragments)
+
+
+class Catalog:
+    """The geo-distributed schema catalog used by binder and optimizer."""
+
+    def __init__(self) -> None:
+        self._databases: dict[str, Database] = {}
+        self._tables: dict[str, GlobalTable] = {}
+
+    # -- databases ---------------------------------------------------------
+
+    def add_database(self, name: str, location: str) -> Database:
+        if name in self._databases:
+            raise CatalogError(f"database {name!r} already exists")
+        db = Database(name, location)
+        self._databases[name] = db
+        return db
+
+    def database(self, name: str) -> Database:
+        try:
+            return self._databases[name]
+        except KeyError:
+            raise CatalogError(f"unknown database {name!r}") from None
+
+    @property
+    def databases(self) -> list[Database]:
+        return list(self._databases.values())
+
+    @property
+    def locations(self) -> list[str]:
+        """All distinct locations hosting a database, in insertion order."""
+        seen: dict[str, None] = {}
+        for db in self._databases.values():
+            seen.setdefault(db.location, None)
+        return list(seen)
+
+    # -- tables ------------------------------------------------------------
+
+    def add_table(
+        self,
+        database: str,
+        schema: TableSchema,
+        stats: TableStats | None = None,
+        row_count: int | None = None,
+    ) -> GlobalTable:
+        """Register a (non-fragmented) global table stored in ``database``."""
+        db = self.database(database)
+        key = schema.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        if stats is None:
+            stats = uniform_stats(schema, row_count or 0)
+        stored = StoredTable(db.name, db.location, schema, stats)
+        table = GlobalTable(schema.name, schema, [stored])
+        self._tables[key] = table
+        return table
+
+    def add_fragmented_table(
+        self,
+        schema: TableSchema,
+        fragments: list[tuple[str, TableStats]],
+    ) -> GlobalTable:
+        """Register a global table fragmented over several databases.
+
+        ``fragments`` is a list of ``(database_name, fragment_stats)``.
+        """
+        key = schema.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        if not fragments:
+            raise CatalogError(f"table {schema.name!r} needs at least one fragment")
+        stored = []
+        for db_name, stats in fragments:
+            db = self.database(db_name)
+            stored.append(StoredTable(db.name, db.location, schema, stats))
+        table = GlobalTable(schema.name, schema, stored)
+        self._tables[key] = table
+        return table
+
+    def table(self, name: str) -> GlobalTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    @property
+    def tables(self) -> list[GlobalTable]:
+        return list(self._tables.values())
+
+    def stored_table(self, database: str, table: str) -> StoredTable:
+        """Look up one stored fragment by database and table name."""
+        global_table = self.table(table)
+        for fragment in global_table.fragments:
+            if fragment.database == database:
+                return fragment
+        raise CatalogError(f"table {table!r} has no fragment in database {database!r}")

@@ -1,0 +1,87 @@
+"""Table schemas: columns, keys, and row-width estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datatypes import DataType, default_width
+from ..errors import CatalogError
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a stored table."""
+
+    name: str
+    dtype: DataType
+    #: Estimated average width in bytes of one value; ``None`` uses the
+    #: per-type default.  Used by the ship-cost model.
+    width_bytes: int | None = None
+
+    @property
+    def width(self) -> int:
+        if self.width_bytes is not None:
+            return self.width_bytes
+        return default_width(self.dtype)
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """FK constraint: ``columns`` of this table reference ``ref_columns``
+    of ``ref_table``.  Drives the ad-hoc query generator's join graph and
+    join-cardinality estimation."""
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of a stored (or global) table."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: tuple[ForeignKey, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in table {self.name!r}")
+        known = set(names)
+        for key_col in self.primary_key:
+            if key_col not in known:
+                raise CatalogError(
+                    f"primary key column {key_col!r} not in table {self.name!r}"
+                )
+        for fk in self.foreign_keys:
+            for col in fk.columns:
+                if col not in known:
+                    raise CatalogError(
+                        f"foreign key column {col!r} not in table {self.name!r}"
+                    )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        for c in self.columns:
+            if c.name == name:
+                return c
+        raise CatalogError(f"no column {name!r} in table {self.name!r}")
+
+    def column_index(self, name: str) -> int:
+        for i, c in enumerate(self.columns):
+            if c.name == name:
+                return i
+        raise CatalogError(f"no column {name!r} in table {self.name!r}")
+
+    @property
+    def row_width(self) -> int:
+        """Estimated bytes per full row (for ship-cost estimation)."""
+        return sum(c.width for c in self.columns)

@@ -1,0 +1,83 @@
+"""Table and column statistics for cardinality estimation.
+
+The optimizer's cost model (paper §6, "traditional cost model ... cost
+functions based on input cardinalities") uses classic System-R style
+estimation: row counts, per-column distinct counts, and min/max bounds.
+Statistics can be computed exactly from in-memory data via
+:func:`stats_from_rows` or synthesized from schema knowledge (the TPC-H
+module does this for its generated tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from .schema import TableSchema
+
+
+@dataclass
+class ColumnStats:
+    """Statistics of one column."""
+
+    distinct_count: int = 1
+    min_value: Any = None
+    max_value: Any = None
+    null_fraction: float = 0.0
+
+
+@dataclass
+class TableStats:
+    """Statistics of one table."""
+
+    row_count: int = 0
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats:
+        """Stats for ``name``; a permissive default when unknown."""
+        stats = self.columns.get(name)
+        if stats is None:
+            stats = ColumnStats(distinct_count=max(1, self.row_count // 10 or 1))
+        return stats
+
+
+def stats_from_rows(schema: TableSchema, rows: Sequence[Sequence[Any]]) -> TableStats:
+    """Compute exact statistics from in-memory rows."""
+    column_stats: dict[str, ColumnStats] = {}
+    n = len(rows)
+    for i, col in enumerate(schema.columns):
+        values = [row[i] for row in rows]
+        non_null = [v for v in values if v is not None]
+        distinct = len(set(non_null)) if non_null else 0
+        stats = ColumnStats(
+            distinct_count=max(1, distinct),
+            min_value=min(non_null) if non_null else None,
+            max_value=max(non_null) if non_null else None,
+            null_fraction=(n - len(non_null)) / n if n else 0.0,
+        )
+        column_stats[col.name] = stats
+    return TableStats(row_count=n, columns=column_stats)
+
+
+def uniform_stats(
+    schema: TableSchema,
+    row_count: int,
+    distinct_overrides: dict[str, int] | None = None,
+) -> TableStats:
+    """Synthesize statistics assuming uniform value distributions.
+
+    Key columns get ``row_count`` distinct values; other columns default to
+    ``max(1, row_count // 10)`` unless overridden.
+    """
+    overrides = distinct_overrides or {}
+    key_columns = set(schema.primary_key)
+    column_stats: dict[str, ColumnStats] = {}
+    for col in schema.columns:
+        if col.name in overrides:
+            distinct = overrides[col.name]
+        elif col.name in key_columns and len(key_columns) == 1:
+            distinct = row_count
+        else:
+            distinct = max(1, row_count // 10)
+        column_stats[col.name] = ColumnStats(distinct_count=max(1, distinct))
+    return TableStats(row_count=row_count, columns=column_stats)

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A small operator console over the geo-distributed TPC-H deployment, the
+curated policy sets, and both optimizers:
+
+.. code-block:: text
+
+    python -m repro explain  "SELECT ..."  [--set CR] [--traditional]
+                                           [--traits] [--result-location L]
+    python -m repro run      "SELECT ..."  [--set CR] [--scale 0.005]
+    python -m repro audit    "SELECT ..."  [--set CR]
+    python -m repro policies [--set CR]
+    python -m repro queries                      # the six TPC-H queries
+
+Named queries (``Q2``, ``Q3``, ``Q5``, ``Q8``, ``Q9``, ``Q10``) may be
+used in place of SQL text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .errors import NonCompliantQueryError, ReproError
+from .execution import ExecutionEngine
+from .optimizer import (
+    CompliantOptimizer,
+    TraditionalOptimizer,
+    check_compliance,
+)
+from .plan import explain_annotated, explain_physical
+from .policy import PolicyEvaluator, describe_local_query
+from .sql import Binder
+from .tpch import (
+    LOCATIONS,
+    QUERIES,
+    build_benchmark,
+    build_catalog,
+    curated_policies,
+    default_network,
+)
+
+
+def _resolve_sql(text: str) -> str:
+    if text.upper() in QUERIES:
+        return QUERIES[text.upper()]
+    return text
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compliant geo-distributed query processing (SIGMOD '21 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, with_query: bool = True) -> None:
+        if with_query:
+            p.add_argument("query", help="SQL text or a named TPC-H query (Q2..Q10)")
+        p.add_argument(
+            "--set",
+            dest="policy_set",
+            default="CR",
+            choices=["T", "C", "CR", "CR+A"],
+            help="curated policy-expression set (default: CR)",
+        )
+
+    explain = sub.add_parser("explain", help="optimize and print the plan")
+    add_common(explain)
+    explain.add_argument(
+        "--traditional", action="store_true", help="use the policy-unaware baseline"
+    )
+    explain.add_argument(
+        "--traits", action="store_true", help="also print the annotated plan (E/S traits)"
+    )
+    explain.add_argument(
+        "--result-location", default=None, help="deliver the result to this location"
+    )
+
+    run = sub.add_parser("run", help="optimize, execute on generated data, print rows")
+    add_common(run)
+    run.add_argument(
+        "--scale", type=float, default=0.005, help="TPC-H data scale (default 0.005)"
+    )
+    run.add_argument("--limit", type=int, default=20, help="print at most N rows")
+
+    audit = sub.add_parser(
+        "audit", help="legal shipping destinations of a (single-database) query"
+    )
+    add_common(audit)
+
+    policies = sub.add_parser("policies", help="print a curated policy set")
+    add_common(policies, with_query=False)
+
+    sub.add_parser("queries", help="list the six TPC-H evaluation queries")
+    return parser
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    catalog = build_catalog(scale=1.0)
+    network = default_network()
+    sql = _resolve_sql(args.query)
+    policy_catalog = curated_policies(catalog, args.policy_set)
+    if args.traditional:
+        optimizer = TraditionalOptimizer(catalog, network)
+        result = optimizer.optimize(sql, result_location=args.result_location)
+        evaluator = PolicyEvaluator(policy_catalog)
+        violations = check_compliance(result.plan, evaluator)
+    else:
+        optimizer = CompliantOptimizer(catalog, policy_catalog, network)
+        result = optimizer.optimize(sql, result_location=args.result_location)
+        violations = []
+    print(explain_physical(result.plan, show_rows=True))
+    if args.traits:
+        print("\nAnnotated plan (phase 1):")
+        print(explain_annotated(result.annotate.root))
+    print(
+        f"\noptimization: {result.phase1_seconds * 1e3:.1f} ms (annotator) + "
+        f"{result.phase2_seconds * 1e3:.1f} ms (site selector); "
+        f"{result.annotate.group_count} memo groups / "
+        f"{result.annotate.expression_count} expressions"
+    )
+    if args.traditional:
+        print(f"compliant under set {args.policy_set}: {not violations}")
+        for violation in violations:
+            print("  violation:", violation)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    catalog, database = build_benchmark(scale=args.scale, stats_scale=1.0)
+    network = default_network()
+    policy_catalog = curated_policies(catalog, args.policy_set)
+    optimizer = CompliantOptimizer(catalog, policy_catalog, network)
+    result = optimizer.optimize(_resolve_sql(args.query))
+    engine = ExecutionEngine(
+        database, network, policy_guard=optimizer.evaluator
+    )
+    output = engine.execute(result.plan)
+    print("\t".join(output.columns))
+    for row in output.rows[: args.limit]:
+        print("\t".join(str(v) for v in row))
+    if len(output.rows) > args.limit:
+        print(f"... ({len(output.rows)} rows total)")
+    print(
+        f"\n{output.metrics.total_rows_shipped} rows / "
+        f"{output.metrics.total_bytes_shipped} bytes shipped across borders "
+        f"({output.simulated_cost:.3f} s simulated transfer time)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    catalog = build_catalog(scale=1.0)
+    policy_catalog = curated_policies(catalog, args.policy_set)
+    plan = Binder(catalog).bind_sql(_resolve_sql(args.query))
+    local_query = describe_local_query(plan)
+    destinations = PolicyEvaluator(policy_catalog).evaluate(local_query)
+    print(f"legal destinations under set {args.policy_set}:")
+    for location in LOCATIONS:
+        marker = "ALLOWED" if location in destinations else "denied"
+        print(f"  {location:14s} {marker}")
+    return 0
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    catalog = build_catalog(scale=1.0)
+    policy_catalog = curated_policies(catalog, args.policy_set)
+    for expression in policy_catalog.expressions:
+        print(expression)
+    return 0
+
+
+def _cmd_queries(_args: argparse.Namespace) -> int:
+    for name, sql in QUERIES.items():
+        print(f"-- {name}")
+        print(sql.strip())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "explain": _cmd_explain,
+        "run": _cmd_run,
+        "audit": _cmd_audit,
+        "policies": _cmd_policies,
+        "queries": _cmd_queries,
+    }
+    try:
+        return handlers[args.command](args)
+    except NonCompliantQueryError as error:
+        print(f"REJECTED: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Relational type system.
+
+The library stores data as plain Python values; this module defines the
+small set of SQL types the engine understands, their Python carriers, and
+size estimates used by the network cost model (``α + β · bytes``).
+
+Supported types:
+
+* ``INTEGER``  — Python ``int``
+* ``DECIMAL``  — Python ``float`` (sufficient precision for a benchmark
+  reproduction; exactness of money arithmetic is not under test)
+* ``VARCHAR``  — Python ``str``
+* ``DATE``     — Python ``datetime.date``
+* ``BOOLEAN``  — Python ``bool`` (appears only as predicate results)
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from typing import Any
+
+
+class DataType(enum.Enum):
+    """SQL data types supported by the engine."""
+
+    INTEGER = "integer"
+    DECIMAL = "decimal"
+    VARCHAR = "varchar"
+    DATE = "date"
+    BOOLEAN = "boolean"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DataType.{self.name}"
+
+
+#: Estimated on-the-wire width in bytes per value, by type.  VARCHAR uses a
+#: default average width; callers with schema knowledge may override via
+#: ``Column.width_bytes``.
+_DEFAULT_WIDTH = {
+    DataType.INTEGER: 8,
+    DataType.DECIMAL: 8,
+    DataType.VARCHAR: 24,
+    DataType.DATE: 4,
+    DataType.BOOLEAN: 1,
+}
+
+_PYTHON_CARRIERS = {
+    DataType.INTEGER: int,
+    DataType.DECIMAL: (int, float),
+    DataType.VARCHAR: str,
+    DataType.DATE: datetime.date,
+    DataType.BOOLEAN: bool,
+}
+
+
+def default_width(dtype: DataType) -> int:
+    """Return the default estimated byte width of one value of ``dtype``."""
+    return _DEFAULT_WIDTH[dtype]
+
+
+def is_numeric(dtype: DataType) -> bool:
+    """Return True for types supporting arithmetic and SUM/AVG."""
+    return dtype in (DataType.INTEGER, DataType.DECIMAL)
+
+
+def is_comparable(left: DataType, right: DataType) -> bool:
+    """Return True when values of the two types may be compared."""
+    if left == right:
+        return True
+    return is_numeric(left) and is_numeric(right)
+
+
+def value_matches(dtype: DataType, value: Any) -> bool:
+    """Return True when ``value`` is a valid carrier for ``dtype``.
+
+    ``None`` (SQL NULL) is valid for every type.  ``bool`` is excluded from
+    the numeric types (Python bools are ints, but ``True`` is not a number
+    in SQL).
+    """
+    if value is None:
+        return True
+    if isinstance(value, bool) and dtype != DataType.BOOLEAN:
+        return False
+    # datetime.datetime is a date subclass but not a SQL DATE carrier here.
+    if dtype == DataType.DATE and isinstance(value, datetime.datetime):
+        return False
+    return isinstance(value, _PYTHON_CARRIERS[dtype])
+
+
+def arithmetic_result_type(left: DataType, right: DataType) -> DataType:
+    """Result type of ``left (+|-|*|/) right`` for numeric inputs."""
+    if left == DataType.INTEGER and right == DataType.INTEGER:
+        return DataType.INTEGER
+    return DataType.DECIMAL
+
+
+def parse_date(text: str) -> datetime.date:
+    """Parse an ISO ``YYYY-MM-DD`` date literal."""
+    return datetime.date.fromisoformat(text)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  The most important subclass
+is :class:`NonCompliantQueryError`, raised when the compliance-based
+optimizer cannot find any compliant execution plan for a query (the
+"reject" arrow in Figure 2 of the paper).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlSyntaxError(ReproError):
+    """Raised by the lexer/parser on malformed SQL text."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class BindingError(ReproError):
+    """Raised when a parsed query references unknown tables/columns or is
+    otherwise semantically invalid (e.g. a non-aggregated output column
+    missing from GROUP BY)."""
+
+
+class PolicySyntaxError(ReproError):
+    """Raised on malformed policy-expression text."""
+
+
+class CatalogError(ReproError):
+    """Raised on invalid catalog definitions or lookups."""
+
+
+class OptimizerError(ReproError):
+    """Raised on internal optimizer failures (these indicate bugs)."""
+
+
+class NonCompliantQueryError(ReproError):
+    """Raised when no compliant query execution plan exists in the explored
+    plan space for the given query and dataflow policies.
+
+    Per the paper this does *not* always mean the query is illegal: the
+    optimizer is sound but may be incomplete (Section 6.4).
+    """
+
+
+class ComplianceViolationError(ReproError):
+    """Raised by the runtime compliance guard when a plan attempts to ship
+    data to a location the dataflow policies forbid.  Seeing this error for
+    a plan produced by the compliant optimizer would falsify Theorem 1."""
+
+
+class ExecutionError(ReproError):
+    """Raised on errors while executing a physical plan."""

@@ -1,0 +1,16 @@
+"""Physical plan execution over geo-distributed in-memory data."""
+
+from .metrics import ExecutionMetrics, ShipRecord
+from .operators import OperatorExecutor, actual_bytes
+from .engine import ExecutionEngine, ExecutionResult
+from .reference import reference_plan
+
+__all__ = [
+    "ExecutionMetrics",
+    "ShipRecord",
+    "OperatorExecutor",
+    "actual_bytes",
+    "ExecutionEngine",
+    "ExecutionResult",
+    "reference_plan",
+]

@@ -1,0 +1,82 @@
+"""Query execution engine with an optional runtime compliance guard.
+
+The engine executes located physical plans against a
+:class:`~repro.geo.GeoDatabase`, simulating cross-site transfers under
+the network cost model.  When constructed with a policy evaluator it acts
+as the last line of defense (paper Figure 2's query executor only runs
+plans the optimizer accepted; here we additionally *verify*): a plan that
+would ship restricted data is refused with
+:class:`~repro.errors.ComplianceViolationError` before any data moves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ComplianceViolationError
+from ..geo import GeoDatabase, NetworkModel, synthetic_network
+from ..plan import PhysicalPlan
+from ..policy import PolicyEvaluator
+from .metrics import ExecutionMetrics
+from .operators import OperatorExecutor
+
+
+@dataclass
+class ExecutionResult:
+    """Rows plus everything measured while producing them."""
+
+    columns: list[str]
+    rows: list[tuple]
+    metrics: ExecutionMetrics
+    seconds: float  # wall-clock local compute time (not simulated WAN time)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    @property
+    def simulated_cost(self) -> float:
+        """The paper's execution-cost metric: total simulated transfer
+        time of all SHIPs under the α + β·bytes model."""
+        return self.metrics.shipping_seconds
+
+
+class ExecutionEngine:
+    """Executes physical plans over geo-distributed in-memory data."""
+
+    def __init__(
+        self,
+        database: GeoDatabase,
+        network: NetworkModel | None = None,
+        policy_guard: PolicyEvaluator | None = None,
+    ) -> None:
+        self.database = database
+        self.network = network or synthetic_network(database.catalog.locations)
+        self.policy_guard = policy_guard
+
+    def execute(self, plan: PhysicalPlan) -> ExecutionResult:
+        """Run ``plan``; raises :class:`ComplianceViolationError` when a
+        policy guard is installed and the plan is non-compliant."""
+        if self.policy_guard is not None:
+            from ..optimizer.validator import check_compliance
+
+            violations = check_compliance(plan, self.policy_guard)
+            if violations:
+                details = "; ".join(str(v) for v in violations)
+                raise ComplianceViolationError(
+                    f"refusing to execute non-compliant plan: {details}"
+                )
+        metrics = ExecutionMetrics()
+        executor = OperatorExecutor(self.database, self.network, metrics)
+        start = time.perf_counter()
+        columns, rows = executor.run(plan)
+        elapsed = time.perf_counter() - start
+        metrics.rows_output = len(rows)
+        return ExecutionResult(
+            columns=columns, rows=rows, metrics=metrics, seconds=elapsed
+        )

@@ -1,0 +1,55 @@
+"""Execution metrics, most importantly per-SHIP transfer accounting.
+
+Plan *quality* in the paper (§7.4, Fig. 6(g,h)) is the execution cost
+arising from shipping intermediate data between sites under the
+``α + β·bytes`` message model.  The executor records every SHIP's actual
+row count and byte volume so the harness can compute that cost from a
+real execution rather than from estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..geo import NetworkModel
+
+
+@dataclass
+class ShipRecord:
+    """One SHIP operator's measured transfer."""
+
+    source: str
+    target: str
+    rows: int
+    bytes: int
+    seconds: float  # simulated transfer time under the network model
+
+
+@dataclass
+class ExecutionMetrics:
+    """Metrics of one plan execution."""
+
+    rows_scanned: int = 0
+    rows_output: int = 0
+    operators_executed: int = 0
+    ships: list[ShipRecord] = field(default_factory=list)
+
+    @property
+    def total_bytes_shipped(self) -> int:
+        return sum(s.bytes for s in self.ships)
+
+    @property
+    def total_rows_shipped(self) -> int:
+        return sum(s.rows for s in self.ships)
+
+    @property
+    def shipping_seconds(self) -> float:
+        """Total simulated cross-site transfer time — the paper's
+        execution-cost metric."""
+        return sum(s.seconds for s in self.ships)
+
+    def record_ship(
+        self, network: NetworkModel, source: str, target: str, rows: int, nbytes: int
+    ) -> None:
+        seconds = network.transfer_time(source, target, nbytes)
+        self.ships.append(ShipRecord(source, target, rows, nbytes, seconds))

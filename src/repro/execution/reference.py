@@ -1,0 +1,125 @@
+"""Reference (single-site) plan construction.
+
+Converts a bound logical plan directly into an executable physical plan
+with every operator at one location and no SHIP operators — as if all
+data lived in one centralized database.  Used as the semantics oracle:
+an optimized geo-distributed plan must produce exactly the rows the
+reference plan produces (the paper's requirement that compliant plans
+"retain the query semantics").
+"""
+
+from __future__ import annotations
+
+from ..errors import ExecutionError
+from ..expr import ColumnRef, Comparison, ComparisonOp, conjunction, split_conjuncts
+from ..plan import (
+    Filter,
+    HashAggregate,
+    HashJoin,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalUnion,
+    NestedLoopJoin,
+    PhysicalPlan,
+    Project,
+    Sort,
+    TableScan,
+    UnionAll,
+)
+
+
+def reference_plan(plan: LogicalPlan, location: str = "reference") -> PhysicalPlan:
+    """Translate a logical plan 1:1 into physical operators at one site."""
+    if isinstance(plan, LogicalScan):
+        return TableScan(
+            fields=plan.fields,
+            location=location,
+            table=plan.table,
+            database=plan.database,
+            alias=plan.alias,
+        )
+    if isinstance(plan, LogicalFilter):
+        return Filter(
+            fields=plan.fields,
+            location=location,
+            child=reference_plan(plan.child, location),
+            predicate=plan.predicate,
+        )
+    if isinstance(plan, LogicalProject):
+        return Project(
+            fields=plan.fields,
+            location=location,
+            child=reference_plan(plan.child, location),
+            exprs=plan.exprs,
+            names=plan.names,
+        )
+    if isinstance(plan, LogicalJoin):
+        left = reference_plan(plan.left, location)
+        right = reference_plan(plan.right, location)
+        left_names = set(left.field_names)
+        left_keys: list[ColumnRef] = []
+        right_keys: list[ColumnRef] = []
+        residual = []
+        for conjunct in split_conjuncts(plan.condition):
+            if (
+                isinstance(conjunct, Comparison)
+                and conjunct.op == ComparisonOp.EQ
+                and isinstance(conjunct.left, ColumnRef)
+                and isinstance(conjunct.right, ColumnRef)
+                and (conjunct.left.name in left_names)
+                != (conjunct.right.name in left_names)
+            ):
+                if conjunct.left.name in left_names:
+                    left_keys.append(conjunct.left)
+                    right_keys.append(conjunct.right)
+                else:
+                    left_keys.append(conjunct.right)
+                    right_keys.append(conjunct.left)
+            else:
+                residual.append(conjunct)
+        if left_keys:
+            return HashJoin(
+                fields=plan.fields,
+                location=location,
+                left=left,
+                right=right,
+                left_keys=tuple(left_keys),
+                right_keys=tuple(right_keys),
+                residual=conjunction(residual) if residual else None,
+            )
+        return NestedLoopJoin(
+            fields=plan.fields,
+            location=location,
+            left=left,
+            right=right,
+            condition=plan.condition,
+        )
+    if isinstance(plan, LogicalAggregate):
+        return HashAggregate(
+            fields=plan.fields,
+            location=location,
+            child=reference_plan(plan.child, location),
+            group_keys=plan.group_keys,
+            aggregates=plan.aggregates,
+            agg_names=plan.agg_names,
+        )
+    if isinstance(plan, LogicalUnion):
+        return UnionAll(
+            fields=plan.fields,
+            location=location,
+            inputs=tuple(reference_plan(c, location) for c in plan.inputs),
+        )
+    if isinstance(plan, LogicalSort):
+        return Sort(
+            fields=plan.fields,
+            location=location,
+            child=reference_plan(plan.child, location),
+            sort_keys=plan.sort_keys,
+            limit=plan.limit,
+        )
+    raise ExecutionError(f"cannot build reference plan for {type(plan).__name__}")

@@ -1,0 +1,242 @@
+"""Expression evaluation against rows.
+
+Rows are plain Python tuples; a *row schema* is an ordered list of field
+names mapping positions to :class:`~repro.expr.expressions.ColumnRef`
+names.  :func:`compile_expression` turns a bound expression tree into a
+closure ``row -> value`` so per-row evaluation avoids repeated dispatch —
+important because the benchmark harness executes plans over hundreds of
+thousands of rows.
+
+NULL semantics follow SQL three-valued logic to the extent the engine
+needs: any comparison/arithmetic involving NULL yields NULL, predicates
+treat NULL as not-satisfied, and aggregates skip NULLs (except COUNT(*)).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Sequence
+
+from ..errors import ExecutionError
+from .expressions import (
+    AggregateCall,
+    And,
+    Arithmetic,
+    ArithmeticOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
+    Or,
+)
+
+RowFunc = Callable[[Sequence[Any]], Any]
+
+
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Translate a SQL LIKE pattern to an anchored compiled regex."""
+    out: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+_COMPARATORS: dict[ComparisonOp, Callable[[Any, Any], bool]] = {
+    ComparisonOp.EQ: lambda a, b: a == b,
+    ComparisonOp.NE: lambda a, b: a != b,
+    ComparisonOp.LT: lambda a, b: a < b,
+    ComparisonOp.LE: lambda a, b: a <= b,
+    ComparisonOp.GT: lambda a, b: a > b,
+    ComparisonOp.GE: lambda a, b: a >= b,
+}
+
+
+def _scalar_function(name: str) -> Callable[..., Any]:
+    upper = name.upper()
+    if upper == "YEAR":
+        return lambda d: None if d is None else d.year
+    if upper == "LOWER":
+        return lambda s: None if s is None else s.lower()
+    if upper == "UPPER":
+        return lambda s: None if s is None else s.upper()
+    if upper == "ABS":
+        return lambda x: None if x is None else abs(x)
+    if upper == "SUBSTRING":
+        def substring(s: str | None, start: int, length: int | None = None) -> str | None:
+            if s is None:
+                return None
+            begin = start - 1  # SQL SUBSTRING is 1-based
+            if length is None:
+                return s[begin:]
+            return s[begin:begin + length]
+
+        return substring
+    raise ExecutionError(f"unsupported scalar function: {name}")
+
+
+def compile_expression(expr: Expression, schema: Sequence[str]) -> RowFunc:
+    """Compile ``expr`` into a closure evaluating it against rows whose
+    field order is given by ``schema``.
+
+    Raises :class:`ExecutionError` for column references not present in the
+    schema or for :class:`AggregateCall` nodes (aggregates are evaluated by
+    the Aggregate operator, never row-at-a-time).
+    """
+    index = {name: i for i, name in enumerate(schema)}
+
+    def build(node: Expression) -> RowFunc:
+        if isinstance(node, Literal):
+            value = node.value
+            return lambda row: value
+        if isinstance(node, ColumnRef):
+            if node.name not in index:
+                raise ExecutionError(
+                    f"column {node.name!r} not in schema {list(schema)!r}"
+                )
+            pos = index[node.name]
+            return lambda row: row[pos]
+        if isinstance(node, Comparison):
+            left = build(node.left)
+            right = build(node.right)
+            cmp = _COMPARATORS[node.op]
+
+            def compare(row: Sequence[Any]) -> Any:
+                a = left(row)
+                b = right(row)
+                if a is None or b is None:
+                    return None
+                return cmp(a, b)
+
+            return compare
+        if isinstance(node, And):
+            parts = [build(op) for op in node.operands]
+
+            def conj(row: Sequence[Any]) -> Any:
+                saw_null = False
+                for part in parts:
+                    v = part(row)
+                    if v is None:
+                        saw_null = True
+                    elif not v:
+                        return False
+                return None if saw_null else True
+
+            return conj
+        if isinstance(node, Or):
+            parts = [build(op) for op in node.operands]
+
+            def disj(row: Sequence[Any]) -> Any:
+                saw_null = False
+                for part in parts:
+                    v = part(row)
+                    if v is None:
+                        saw_null = True
+                    elif v:
+                        return True
+                return None if saw_null else False
+
+            return disj
+        if isinstance(node, Not):
+            inner = build(node.operand)
+
+            def negation(row: Sequence[Any]) -> Any:
+                v = inner(row)
+                if v is None:
+                    return None
+                return not v
+
+            return negation
+        if isinstance(node, Arithmetic):
+            left = build(node.left)
+            right = build(node.right)
+            op = node.op
+
+            def arith(row: Sequence[Any]) -> Any:
+                a = left(row)
+                b = right(row)
+                if a is None or b is None:
+                    return None
+                if op == ArithmeticOp.ADD:
+                    return a + b
+                if op == ArithmeticOp.SUB:
+                    return a - b
+                if op == ArithmeticOp.MUL:
+                    return a * b
+                if b == 0:
+                    raise ExecutionError("division by zero")
+                result = a / b
+                return result
+
+            return arith
+        if isinstance(node, Negate):
+            inner = build(node.operand)
+            return lambda row: None if inner(row) is None else -inner(row)
+        if isinstance(node, Like):
+            inner = build(node.operand)
+            regex = like_to_regex(node.pattern)
+            negated = node.negated
+
+            def like(row: Sequence[Any]) -> Any:
+                v = inner(row)
+                if v is None:
+                    return None
+                matched = regex.match(v) is not None
+                return (not matched) if negated else matched
+
+            return like
+        if isinstance(node, InList):
+            inner = build(node.operand)
+            values = {lit.value for lit in node.values}
+            negated = node.negated
+
+            def in_list(row: Sequence[Any]) -> Any:
+                v = inner(row)
+                if v is None:
+                    return None
+                member = v in values
+                return (not member) if negated else member
+
+            return in_list
+        if isinstance(node, IsNull):
+            inner = build(node.operand)
+            negated = node.negated
+
+            def is_null(row: Sequence[Any]) -> Any:
+                v = inner(row)
+                return (v is not None) if negated else (v is None)
+
+            return is_null
+        if isinstance(node, FunctionCall):
+            fn = _scalar_function(node.name)
+            arg_funcs = [build(a) for a in node.args]
+            return lambda row: fn(*(f(row) for f in arg_funcs))
+        if isinstance(node, AggregateCall):
+            raise ExecutionError(
+                "aggregate call evaluated outside an Aggregate operator"
+            )
+        raise ExecutionError(f"unknown expression node: {type(node).__name__}")
+
+    return build(expr)
+
+
+def compile_predicate(expr: Expression, schema: Sequence[str]) -> Callable[[Sequence[Any]], bool]:
+    """Compile a boolean expression; NULL results count as not satisfied."""
+    fn = compile_expression(expr, schema)
+
+    def predicate(row: Sequence[Any]) -> bool:
+        v = fn(row)
+        return bool(v) if v is not None else False
+
+    return predicate

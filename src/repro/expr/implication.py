@@ -1,0 +1,123 @@
+"""Sound (incomplete) logical implication test ``P_q ⇒ P_e``.
+
+Used by the policy evaluator (paper §5, Algorithm 1 line 3) to check that
+the rows a query selects are a subset of the rows a policy expression
+permits.  The technique follows the materialized-view matching style of
+Goldstein & Larson cited by the paper: both predicates are normalized to
+DNF over simple atoms and containment is checked atom-wise.  The test is
+*sound* — it never claims an implication that does not hold — but
+incomplete (e.g. it cannot prove ``A=5 ∧ B=3 ⇒ A+B=8``, the paper's own
+example of a failing case).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .evaluator import like_to_regex
+from .expressions import Expression
+from .predicates import Conjunct, Range, to_dnf
+
+
+def _entails_range(q: Conjunct, key: Any, required: Range) -> bool:
+    rng = q.ranges.get(key)
+    if rng is not None and rng.is_subset_of(required):
+        return True
+    in_set = q.in_sets.get(key)
+    if in_set is not None and all(required.contains_value(v) for v in in_set):
+        return True
+    return False
+
+
+def _entails_in_set(q: Conjunct, key: Any, allowed: frozenset) -> bool:
+    in_set = q.in_sets.get(key)
+    if in_set is not None and in_set <= allowed:
+        return True
+    rng = q.ranges.get(key)
+    if rng is not None:
+        exact = rng.exact_value()
+        if exact is not None and exact in allowed:
+            return True
+    return False
+
+
+def _entails_not_equal(q: Conjunct, key: Any, excluded: Any) -> bool:
+    if excluded in q.not_equal.get(key, ()):
+        return True
+    rng = q.ranges.get(key)
+    if rng is not None:
+        exact = rng.exact_value()
+        if exact is not None and exact != excluded:
+            return True
+        if not rng.contains_value(excluded):
+            return True
+    in_set = q.in_sets.get(key)
+    if in_set is not None and excluded not in in_set:
+        return True
+    return False
+
+
+def _entails_like(q: Conjunct, key: Any, pattern: str, negated: bool) -> bool:
+    if (key, pattern, negated) in q.likes:
+        return True
+    rng = q.ranges.get(key)
+    exact = rng.exact_value() if rng is not None else None
+    candidates: list[Any] = []
+    if exact is not None:
+        candidates = [exact]
+    elif key in q.in_sets:
+        candidates = list(q.in_sets[key])
+    if candidates and all(isinstance(v, str) for v in candidates):
+        regex = like_to_regex(pattern)
+        matches = all(regex.match(v) is not None for v in candidates)
+        return (not matches) if negated else matches
+    return False
+
+
+def conjunct_entails(q: Conjunct, e: Conjunct) -> bool:
+    """True when every row satisfying conjunct ``q`` satisfies ``e``."""
+    if q.unsatisfiable:
+        return True
+    for key, rng in e.ranges.items():
+        if not _entails_range(q, key, rng):
+            return False
+    for key, allowed in e.in_sets.items():
+        if not _entails_in_set(q, key, allowed):
+            return False
+    for key, excluded in e.not_equal.items():
+        for value in excluded:
+            if not _entails_not_equal(q, key, value):
+                return False
+    for key, pattern, negated in e.likes:
+        if not _entails_like(q, key, pattern, negated):
+            return False
+    for atom in e.opaque:
+        if atom not in q.opaque:
+            return False
+    return True
+
+
+def implies(query_predicate: Expression | None, policy_predicate: Expression | None) -> bool:
+    """Sound test of ``query_predicate ⇒ policy_predicate``.
+
+    ``None`` stands for TRUE (no predicate).  Returns ``False`` whenever
+    the implication cannot be *proved*, which keeps the policy evaluator
+    conservative: an unprovable implication simply means the policy
+    expression grants nothing for this query.
+    """
+    if policy_predicate is None:
+        return True
+    e_dnf = to_dnf(policy_predicate)
+    if e_dnf is None:
+        return False
+    q_dnf = to_dnf(query_predicate)
+    if q_dnf is None:
+        return False
+    if not e_dnf:
+        # Policy predicate is unsatisfiable: only an unsatisfiable query
+        # predicate implies it.
+        return not q_dnf
+    for q_conj in q_dnf:
+        if not any(conjunct_entails(q_conj, e_conj) for e_conj in e_dnf):
+            return False
+    return True

@@ -1,0 +1,346 @@
+"""Predicate normalization into DNF over simple atoms.
+
+The policy evaluator (paper §5, Algorithm 1 line 3) needs a logical
+implication test ``P_q ⇒ P_e``.  Following the paper — which uses a simple,
+sound-but-incomplete technique in the style of Goldstein & Larson [24] — we
+normalize both predicates into disjunctive normal form over *atoms*:
+
+* range constraints ``col op constant`` (equality is a degenerate range),
+* ``col <> constant``,
+* ``col IN (v1, ...)``,
+* ``col LIKE 'pattern'``,
+* everything else (column-column comparisons, arithmetic, IS NULL, ...)
+  becomes an *opaque* atom that only entails a syntactically identical atom.
+
+Columns are identified by their base-table provenance
+(:class:`~repro.expr.expressions.BaseColumn`) when available so that a
+query predicate over plan field names can be compared with a policy
+predicate over stored-table column names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from .expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expression,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    TRUE,
+    FALSE,
+)
+
+#: Conversion to DNF is exponential in the worst case; beyond this many
+#: disjuncts we give up and report "cannot prove implication" (sound).
+MAX_DISJUNCTS = 128
+
+ColumnKey = Hashable
+
+
+def column_key(ref: ColumnRef) -> ColumnKey:
+    """Identity used to match query columns against policy columns."""
+    if ref.base is not None:
+        return ref.base
+    return ("name", ref.name)
+
+
+def canonical_text(expr: Expression) -> str:
+    """Render an expression with provenance-based column names and sorted
+    operands for symmetric operators.
+
+    Used to compare *opaque* atoms (e.g. join predicates) between a query
+    predicate and a policy predicate: ``c.custkey = o.custkey`` in a query
+    and ``customer.custkey = orders.custkey`` in a policy expression both
+    canonicalize to the same string when provenance matches.
+    """
+    if isinstance(expr, ColumnRef):
+        return str(expr.base) if expr.base is not None else expr.name
+    if isinstance(expr, Comparison):
+        left = canonical_text(expr.left)
+        right = canonical_text(expr.right)
+        if expr.op in (ComparisonOp.EQ, ComparisonOp.NE) and right < left:
+            left, right = right, left
+        return f"({left} {expr.op.value} {right})"
+    if isinstance(expr, (And, Or)):
+        keyword = " AND " if isinstance(expr, And) else " OR "
+        parts = sorted(canonical_text(op) for op in expr.operands)
+        return "(" + keyword.join(parts) + ")"
+    if not expr.children():
+        return str(expr)
+    return _render_with_canonical_columns(expr)
+
+
+def _render_with_canonical_columns(expr: Expression) -> str:
+    from .expressions import rename_columns, walk
+
+    renames = {}
+    for node in walk(expr):
+        if isinstance(node, ColumnRef) and node.base is not None:
+            renames[node.name] = str(node.base)
+    return str(rename_columns(expr, renames))
+
+
+@dataclass(frozen=True)
+class Range:
+    """A (possibly half-open) interval constraint on one column."""
+
+    low: Any = None
+    low_inclusive: bool = True
+    high: Any = None
+    high_inclusive: bool = True
+
+    @staticmethod
+    def equal_to(value: Any) -> "Range":
+        return Range(low=value, low_inclusive=True, high=value, high_inclusive=True)
+
+    def intersect(self, other: "Range") -> "Range | None":
+        """Intersection of two ranges; ``None`` when values are not mutually
+        comparable (mixed types)."""
+        try:
+            low, low_inc = self.low, self.low_inclusive
+            if other.low is not None:
+                if low is None or other.low > low:
+                    low, low_inc = other.low, other.low_inclusive
+                elif other.low == low:
+                    low_inc = low_inc and other.low_inclusive
+            high, high_inc = self.high, self.high_inclusive
+            if other.high is not None:
+                if high is None or other.high < high:
+                    high, high_inc = other.high, other.high_inclusive
+                elif other.high == high:
+                    high_inc = high_inc and other.high_inclusive
+        except TypeError:
+            return None
+        return Range(low, low_inc, high, high_inc)
+
+    def is_empty(self) -> bool:
+        if self.low is None or self.high is None:
+            return False
+        try:
+            if self.low > self.high:
+                return True
+            if self.low == self.high:
+                return not (self.low_inclusive and self.high_inclusive)
+        except TypeError:
+            return False
+        return False
+
+    def contains_value(self, value: Any) -> bool:
+        try:
+            if self.low is not None:
+                if value < self.low:
+                    return False
+                if value == self.low and not self.low_inclusive:
+                    return False
+            if self.high is not None:
+                if value > self.high:
+                    return False
+                if value == self.high and not self.high_inclusive:
+                    return False
+        except TypeError:
+            return False
+        return True
+
+    def is_subset_of(self, other: "Range") -> bool:
+        """True when every value satisfying ``self`` satisfies ``other``."""
+        try:
+            if other.low is not None:
+                if self.low is None:
+                    return False
+                if self.low < other.low:
+                    return False
+                if self.low == other.low and self.low_inclusive and not other.low_inclusive:
+                    return False
+            if other.high is not None:
+                if self.high is None:
+                    return False
+                if self.high > other.high:
+                    return False
+                if self.high == other.high and self.high_inclusive and not other.high_inclusive:
+                    return False
+        except TypeError:
+            return False
+        return True
+
+    def exact_value(self) -> Any | None:
+        """The single value this range pins down, if any."""
+        if (
+            self.low is not None
+            and self.low == self.high
+            and self.low_inclusive
+            and self.high_inclusive
+        ):
+            return self.low
+        return None
+
+
+@dataclass
+class Conjunct:
+    """One DNF disjunct: a conjunction of atoms, indexed per column."""
+
+    ranges: dict[ColumnKey, Range] = field(default_factory=dict)
+    in_sets: dict[ColumnKey, frozenset] = field(default_factory=dict)
+    not_equal: dict[ColumnKey, set] = field(default_factory=dict)
+    likes: set[tuple[ColumnKey, str, bool]] = field(default_factory=set)
+    opaque: set[str] = field(default_factory=set)
+    unsatisfiable: bool = False
+
+    def add_range(self, key: ColumnKey, rng: Range) -> None:
+        existing = self.ranges.get(key)
+        if existing is None:
+            combined: Range | None = rng
+        else:
+            combined = existing.intersect(rng)
+        if combined is None:
+            # Values not comparable; record both constraints opaquely so
+            # entailment still requires syntactic matches.
+            self.opaque.add(f"range:{key}:{rng}")
+            return
+        self.ranges[key] = combined
+        if combined.is_empty():
+            self.unsatisfiable = True
+
+    def add_in_set(self, key: ColumnKey, values: frozenset) -> None:
+        existing = self.in_sets.get(key)
+        combined = values if existing is None else (existing & values)
+        self.in_sets[key] = combined
+        if not combined:
+            self.unsatisfiable = True
+
+    def add_not_equal(self, key: ColumnKey, value: Any) -> None:
+        self.not_equal.setdefault(key, set()).add(value)
+        rng = self.ranges.get(key)
+        if rng is not None and rng.exact_value() == value:
+            self.unsatisfiable = True
+
+    def merge(self, other: "Conjunct") -> "Conjunct":
+        out = Conjunct()
+        out.unsatisfiable = self.unsatisfiable or other.unsatisfiable
+        for src in (self, other):
+            for key, rng in src.ranges.items():
+                out.add_range(key, rng)
+            for key, values in src.in_sets.items():
+                out.add_in_set(key, values)
+            for key, values in src.not_equal.items():
+                for v in values:
+                    out.add_not_equal(key, v)
+            out.likes |= src.likes
+            out.opaque |= src.opaque
+        return out
+
+
+def _atom_conjunct(expr: Expression, negated: bool) -> Conjunct:
+    """Translate one atomic expression into a :class:`Conjunct`."""
+    out = Conjunct()
+    if isinstance(expr, Comparison):
+        left, right, op = expr.left, expr.right, expr.op
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            left, right, op = right, left, op.flip()
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            if negated:
+                op = op.negate()
+            key = column_key(left)
+            value = right.value
+            if op == ComparisonOp.EQ:
+                out.add_range(key, Range.equal_to(value))
+            elif op == ComparisonOp.NE:
+                out.add_not_equal(key, value)
+            elif op == ComparisonOp.LT:
+                out.add_range(key, Range(high=value, high_inclusive=False))
+            elif op == ComparisonOp.LE:
+                out.add_range(key, Range(high=value, high_inclusive=True))
+            elif op == ComparisonOp.GT:
+                out.add_range(key, Range(low=value, low_inclusive=False))
+            elif op == ComparisonOp.GE:
+                out.add_range(key, Range(low=value, low_inclusive=True))
+            return out
+        out.opaque.add(("NOT " if negated else "") + canonical_text(expr))
+        return out
+    if isinstance(expr, Like) and isinstance(expr.operand, ColumnRef):
+        is_negated = expr.negated ^ negated
+        out.likes.add((column_key(expr.operand), expr.pattern, is_negated))
+        return out
+    if isinstance(expr, InList) and isinstance(expr.operand, ColumnRef):
+        key = column_key(expr.operand)
+        is_negated = expr.negated ^ negated
+        values = frozenset(lit.value for lit in expr.values)
+        if is_negated:
+            for v in values:
+                out.add_not_equal(key, v)
+        else:
+            out.add_in_set(key, values)
+        return out
+    if isinstance(expr, Literal):
+        if bool(expr.value) == negated:
+            out.unsatisfiable = True
+        return out
+    out.opaque.add(("NOT " if negated else "") + canonical_text(expr))
+    return out
+
+
+def to_dnf(expr: Expression | None) -> list[Conjunct] | None:
+    """Normalize a predicate into a list of satisfiable conjuncts.
+
+    Returns ``None`` when the normalization exceeds :data:`MAX_DISJUNCTS`
+    (callers must then treat the implication as unprovable).  An empty list
+    means the predicate is unsatisfiable.  ``None``/TRUE input yields a
+    single empty conjunct (always true).
+    """
+
+    def recurse(node: Expression, negated: bool) -> list[Conjunct] | None:
+        if isinstance(node, Not):
+            return recurse(node.operand, not negated)
+        is_conj = (isinstance(node, And) and not negated) or (
+            isinstance(node, Or) and negated
+        )
+        is_disj = (isinstance(node, Or) and not negated) or (
+            isinstance(node, And) and negated
+        )
+        if is_conj:
+            operands = node.operands  # type: ignore[union-attr]
+            result: list[Conjunct] = [Conjunct()]
+            for op in operands:
+                sub = recurse(op, negated)
+                if sub is None:
+                    return None
+                merged: list[Conjunct] = []
+                for a in result:
+                    for b in sub:
+                        combo = a.merge(b)
+                        if not combo.unsatisfiable:
+                            merged.append(combo)
+                if len(merged) > MAX_DISJUNCTS:
+                    return None
+                result = merged
+                if not result:
+                    return []
+            return result
+        if is_disj:
+            operands = node.operands  # type: ignore[union-attr]
+            result = []
+            for op in operands:
+                sub = recurse(op, negated)
+                if sub is None:
+                    return None
+                result.extend(sub)
+                if len(result) > MAX_DISJUNCTS:
+                    return None
+            return result
+        atom = _atom_conjunct(node, negated)
+        if atom.unsatisfiable:
+            return []
+        return [atom]
+
+    if expr is None or expr == TRUE:
+        return [Conjunct()]
+    if expr == FALSE:
+        return []
+    return recurse(expr, False)

@@ -1,0 +1,6 @@
+"""Geo-distribution substrate: network cost model and data store."""
+
+from .network import LinkCost, NetworkModel, synthetic_network
+from .database import GeoDatabase
+
+__all__ = ["LinkCost", "NetworkModel", "synthetic_network", "GeoDatabase"]

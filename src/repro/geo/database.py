@@ -1,0 +1,76 @@
+"""In-memory geo-distributed data store.
+
+Holds the actual rows of every stored table fragment, keyed by
+``(database, table)``.  This plays the role of the paper's per-location
+DBMS gateways: the execution engine reads table data from here and the
+SHIP operator accounts for bytes crossing location borders.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..catalog import Catalog, StoredTable, stats_from_rows
+from ..datatypes import value_matches
+from ..errors import CatalogError, ExecutionError
+
+
+Row = tuple
+
+
+class GeoDatabase:
+    """Rows for every stored table of a :class:`~repro.catalog.Catalog`."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._data: dict[tuple[str, str], list[Row]] = {}
+
+    def load(
+        self,
+        database: str,
+        table: str,
+        rows: Iterable[Sequence[Any]],
+        update_stats: bool = True,
+        validate: bool = False,
+    ) -> StoredTable:
+        """Load ``rows`` into the fragment of ``table`` stored in
+        ``database``, optionally recomputing its statistics.
+
+        With ``validate=True`` every value is checked against the column
+        type (slow; intended for tests and small datasets).
+        """
+        stored = self.catalog.stored_table(database, table)
+        materialized = [tuple(row) for row in rows]
+        width = len(stored.schema.columns)
+        for row in materialized:
+            if len(row) != width:
+                raise ExecutionError(
+                    f"row width {len(row)} != schema width {width} "
+                    f"for {stored.qualified_name}"
+                )
+        if validate:
+            for row in materialized:
+                for col, value in zip(stored.schema.columns, row):
+                    if not value_matches(col.dtype, value):
+                        raise ExecutionError(
+                            f"value {value!r} invalid for column "
+                            f"{stored.qualified_name}.{col.name} ({col.dtype})"
+                        )
+        self._data[(database, table.lower())] = materialized
+        if update_stats:
+            stored.stats = stats_from_rows(stored.schema, materialized)
+        return stored
+
+    def rows(self, database: str, table: str) -> list[Row]:
+        try:
+            return self._data[(database, table.lower())]
+        except KeyError:
+            raise CatalogError(
+                f"no data loaded for {database}.{table}"
+            ) from None
+
+    def has_data(self, database: str, table: str) -> bool:
+        return (database, table.lower()) in self._data
+
+    def row_count(self, database: str, table: str) -> int:
+        return len(self.rows(database, table))

@@ -1,0 +1,55 @@
+"""Compliance-based query optimizer (paper section 6)."""
+
+from .cost import CostModel, CostWeights
+from .normalize import normalize, prune_columns, push_predicates, simplify_projects
+from .memo import Group, GroupRef, Memo, MExpr
+from .explore import ExploreStats, explore
+from .traits import TraitGrants
+from .annotator import (
+    AnnotatedNode,
+    AnnotateResult,
+    PlanAnnotator,
+    TraitEntry,
+    default_rules,
+)
+from .site_selector import SiteSelection, SiteSelector
+from .validator import (
+    Violation,
+    check_compliance,
+    check_compliance_strict,
+    is_compliant,
+    to_logical,
+)
+from .compliant import CompliantOptimizer, OptimizationResult
+from .traditional import TraditionalOptimizer
+
+__all__ = [
+    "CostModel",
+    "CostWeights",
+    "normalize",
+    "prune_columns",
+    "push_predicates",
+    "simplify_projects",
+    "Group",
+    "GroupRef",
+    "Memo",
+    "MExpr",
+    "ExploreStats",
+    "explore",
+    "TraitGrants",
+    "AnnotatedNode",
+    "AnnotateResult",
+    "PlanAnnotator",
+    "TraitEntry",
+    "default_rules",
+    "SiteSelection",
+    "SiteSelector",
+    "Violation",
+    "check_compliance",
+    "check_compliance_strict",
+    "is_compliant",
+    "to_logical",
+    "CompliantOptimizer",
+    "OptimizationResult",
+    "TraditionalOptimizer",
+]

@@ -1,0 +1,142 @@
+"""The compliance-based query optimizer facade (paper Figure 2).
+
+Wires the whole pipeline together: SQL → bind → normalize → plan
+annotator (phase 1, Volcano search with trait annotation) → site selector
+(phase 2, Algorithm 2) → located physical plan with SHIP operators — or a
+:class:`~repro.errors.NonCompliantQueryError` rejection when no compliant
+plan exists in the explored space.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..catalog import Catalog
+from ..errors import NonCompliantQueryError
+from ..geo import NetworkModel, synthetic_network
+from ..plan import LogicalPlan, LogicalSort, PhysicalPlan, Sort
+from ..policy import PolicyCatalog, PolicyEvaluator
+from ..sql import Binder
+from .annotator import AnnotateResult, PlanAnnotator, default_rules
+from .cost import CostModel
+from .normalize import normalize
+from .site_selector import SiteSelection, SiteSelector
+from .validator import check_compliance
+
+
+@dataclass
+class OptimizationResult:
+    """Everything the benchmark harness needs about one optimization run."""
+
+    plan: PhysicalPlan
+    normalized: LogicalPlan
+    annotate: AnnotateResult
+    selection: SiteSelection
+    phase1_seconds: float
+    phase2_seconds: float
+    rejected: bool = False
+
+    @property
+    def total_seconds(self) -> float:
+        return self.phase1_seconds + self.phase2_seconds
+
+    @property
+    def estimated_shipping_cost(self) -> float:
+        return self.selection.shipping_cost
+
+
+class CompliantOptimizer:
+    """Two-phase compliance-based optimizer (paper §6)."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        policies: PolicyCatalog,
+        network: NetworkModel | None = None,
+        cost_model: CostModel | None = None,
+        allow_cross_products: bool = False,
+        max_expressions: int = 50_000,
+        site_objective: str = "total",
+    ) -> None:
+        self.catalog = catalog
+        self.policies = policies
+        self.network = network or synthetic_network(catalog.locations)
+        self.cost_model = cost_model or CostModel(catalog)
+        self.binder = Binder(catalog)
+        self.evaluator = PolicyEvaluator(policies)
+        self._annotator = PlanAnnotator(
+            cost_model=self.cost_model,
+            evaluator=self.evaluator,
+            all_locations=frozenset(catalog.locations),
+            rules=default_rules(allow_cross_products),
+            max_expressions=max_expressions,
+        )
+        self._site_selector = SiteSelector(self.network, objective=site_objective)
+
+    def optimize(
+        self,
+        query: str | LogicalPlan,
+        result_location: str | None = None,
+    ) -> OptimizationResult:
+        """Optimize ``query`` (SQL text or a bound logical plan).
+
+        Raises :class:`NonCompliantQueryError` when the query has no
+        compliant plan in the explored space — the "reject" path of the
+        paper's architecture.
+        """
+        plan = self.binder.bind_sql(query) if isinstance(query, str) else query
+        core, sort = _strip_sort(plan)
+
+        start = time.perf_counter()
+        core = normalize(core)
+        annotated = self._annotator.annotate(
+            core, result_location=result_location, pre_normalized=True
+        )
+        phase1 = time.perf_counter() - start
+
+        start = time.perf_counter()
+        selection = self._site_selector.select(
+            annotated.root, result_location=result_location
+        )
+        physical = selection.plan
+        if sort is not None:
+            physical = Sort(
+                fields=physical.fields,
+                location=physical.location,
+                estimated_rows=physical.estimated_rows,
+                child=physical,
+                sort_keys=sort.sort_keys,
+                limit=sort.limit,
+            )
+        phase2 = time.perf_counter() - start
+
+        return OptimizationResult(
+            plan=physical,
+            normalized=core,
+            annotate=annotated,
+            selection=selection,
+            phase1_seconds=phase1,
+            phase2_seconds=phase2,
+        )
+
+    def is_legal(self, query: str | LogicalPlan) -> bool:
+        """Does the query have at least one compliant plan in the explored
+        space?  (Sound; a ``False`` can be a false rejection, §6.4.)"""
+        try:
+            self.optimize(query)
+            return True
+        except NonCompliantQueryError:
+            return False
+
+    def validate(self, plan: PhysicalPlan):
+        """Re-check a produced plan against Definition 1 (defense in
+        depth; Theorem 1 says this never finds a violation)."""
+        return check_compliance(plan, self.evaluator)
+
+
+def _strip_sort(plan: LogicalPlan) -> tuple[LogicalPlan, LogicalSort | None]:
+    """Sorting/limit is a presentation concern handled outside the memo."""
+    if isinstance(plan, LogicalSort):
+        return plan.child, plan
+    return plan, None

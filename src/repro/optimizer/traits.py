@@ -1,0 +1,51 @@
+"""Execution and shipping traits (paper §6.1).
+
+An *execution trait* ℰ_n is the set of locations where operator node *n*
+can legally execute; a *shipping trait* 𝒮_n is the set of locations its
+output can legally be shipped to.  The four annotation rules:
+
+* **AR1** — a tablescan's execution trait is its table's source location.
+* **AR2** — a node can execute wherever *all* of its inputs may legally be
+  shipped: ``ℰ_n = ⋂_{c ∈ in(n)} 𝒮_c``.
+* **AR3** — output can always be shipped where the node can execute:
+  ``𝒮_n ⊇ ℰ_n``.
+* **AR4** — for a subplan that is a *local query* over a single database
+  ``D``, the policy evaluation 𝒜(Q_n, D, P_D) contributes to 𝒮_n.
+
+AR4 is a property of the subquery's *semantics*, so it is computed once
+per memo group (all alternatives in a group produce the same result) and
+cached.  AR1–AR3 depend on the concrete alternative and are applied
+during extraction (:mod:`repro.optimizer.annotator`).
+"""
+
+from __future__ import annotations
+
+from ..plan import LogicalUnion
+from ..policy import PolicyEvaluator, describe_local_query
+from .memo import Group
+
+
+class TraitGrants:
+    """Computes and caches the AR4 shipping-trait contribution per group."""
+
+    def __init__(self, evaluator: PolicyEvaluator) -> None:
+        self.evaluator = evaluator
+        self._cache: dict[int, frozenset[str]] = {}
+
+    def shipping_grant(self, group: Group) -> frozenset[str]:
+        """Locations 𝒜 grants to this group's output (∅ for non-local
+        subplans — cross-database subqueries get shipping traits only via
+        AR3)."""
+        cached = self._cache.get(group.group_id)
+        if cached is not None:
+            return cached
+        grant = frozenset()
+        representative = group.representative
+        assert representative is not None
+        if len(representative.source_databases) == 1 and not any(
+            isinstance(node, LogicalUnion) for node in representative.walk()
+        ):
+            local_query = describe_local_query(representative)
+            grant = self.evaluator.evaluate(local_query)
+        self._cache[group.group_id] = grant
+        return grant

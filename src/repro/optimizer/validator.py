@@ -1,0 +1,260 @@
+"""Independent compliance validation of located physical plans.
+
+Two checkers, both independent of the optimizer's internals (they
+recompute everything from the plan, the catalog, and the policies), used
+for Theorem-1 property tests and as an executor-side guard:
+
+* :func:`check_compliance` — *content-based* semantics mirroring the
+  annotation rules: every SHIP's payload (the result of the subquery
+  below it) must be legal at the target, where the legal-destination set
+  of a subplan is derived bottom-up exactly like shipping traits
+  (⋂ of children's sets, plus 𝒜 for single-database subplans).
+* :func:`check_compliance_strict` — the literal Definition 1 of the
+  paper: for every operator ``o``, every maximal single-database,
+  single-location subtree ``o'`` strictly below it that crosses a border
+  must satisfy ``l_o ∈ 𝒜(Q_{o'})``.  Strict implies content-based
+  compliance for the plans our optimizer emits (masking happens at the
+  data's home site); the content-based form is the primary check because
+  Definition 1 leaves masking-at-a-foreign-site formally undefined (see
+  DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..expr import conjunction
+from ..plan import (
+    Field,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalUnion,
+    NestedLoopJoin,
+    PhysicalPlan,
+    Project,
+    Ship,
+    Sort,
+    TableScan,
+    UnionAll,
+)
+from ..policy import PolicyEvaluator, describe_local_query
+
+
+@dataclass
+class Violation:
+    """One detected policy violation."""
+
+    node: PhysicalPlan
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.node.describe()}: {self.message}"
+
+
+def to_logical(node: PhysicalPlan) -> LogicalPlan:
+    """Reconstruct the logical subquery a physical subtree computes (SHIPs
+    are transparent: they move data without changing it)."""
+    if isinstance(node, Ship):
+        assert node.child is not None
+        return to_logical(node.child)
+    if isinstance(node, TableScan):
+        return LogicalScan(
+            table=node.table,
+            database=node.database,
+            location=node.location,
+            alias=node.alias,
+            scan_fields=node.fields,
+        )
+    if isinstance(node, Filter):
+        assert node.child is not None and node.predicate is not None
+        return LogicalFilter(to_logical(node.child), node.predicate)
+    if isinstance(node, Project):
+        assert node.child is not None
+        return LogicalProject(to_logical(node.child), node.exprs, node.names)
+    if isinstance(node, HashJoin):
+        assert node.left is not None and node.right is not None
+        conjuncts = [
+            _eq(l, r) for l, r in zip(node.left_keys, node.right_keys)
+        ]
+        if node.residual is not None:
+            conjuncts.append(node.residual)
+        return LogicalJoin(
+            to_logical(node.left), to_logical(node.right), conjunction(conjuncts)
+        )
+    if isinstance(node, NestedLoopJoin):
+        assert node.left is not None and node.right is not None
+        return LogicalJoin(to_logical(node.left), to_logical(node.right), node.condition)
+    if isinstance(node, HashAggregate):
+        assert node.child is not None
+        return LogicalAggregate(
+            to_logical(node.child), node.group_keys, node.aggregates, node.agg_names
+        )
+    if isinstance(node, UnionAll):
+        return LogicalUnion(tuple(to_logical(c) for c in node.inputs))
+    if isinstance(node, Sort):
+        assert node.child is not None
+        return LogicalSort(to_logical(node.child), node.sort_keys, node.limit)
+    raise TypeError(f"unknown physical operator {type(node).__name__}")
+
+
+def _eq(left, right):
+    from ..expr import Comparison, ComparisonOp
+
+    return Comparison(ComparisonOp.EQ, left, right)
+
+
+def _grant(evaluator: PolicyEvaluator, logical: LogicalPlan) -> frozenset[str]:
+    """𝒜 of a subplan, or ∅ when it is not a local single-database query."""
+    if len(logical.source_databases) != 1:
+        return frozenset()
+    if any(isinstance(n, LogicalUnion) for n in logical.walk()):
+        return frozenset()
+    return evaluator.evaluate(describe_local_query(logical))
+
+
+# -- content-based check -------------------------------------------------------
+
+
+def check_compliance(
+    plan: PhysicalPlan, evaluator: PolicyEvaluator
+) -> list[Violation]:
+    """Content-based compliance check; empty result means compliant."""
+    violations: list[Violation] = []
+    all_locations = evaluator.policies.all_locations
+
+    def legal_destinations(node: PhysicalPlan) -> frozenset[str]:
+        if isinstance(node, Ship):
+            assert node.child is not None
+            allowed = legal_destinations(node.child)
+            if node.target != node.source and node.target not in allowed:
+                violations.append(
+                    Violation(
+                        node,
+                        f"ships data legal only for {sorted(allowed)} to "
+                        f"{node.target!r}",
+                    )
+                )
+            return allowed
+        if isinstance(node, TableScan):
+            executable = frozenset([node.location])
+        else:
+            executable = all_locations
+            for child in node.children():
+                executable = executable & legal_destinations(child)
+            if node.location not in executable:
+                violations.append(
+                    Violation(
+                        node,
+                        f"executes at {node.location!r} but inputs are only "
+                        f"legal at {sorted(executable)}",
+                    )
+                )
+        logical = to_logical(node)
+        return executable | _grant(evaluator, logical)
+
+    legal_destinations(plan)
+    return violations
+
+
+def is_compliant(plan: PhysicalPlan, evaluator: PolicyEvaluator) -> bool:
+    return not check_compliance(plan, evaluator)
+
+
+# -- strict (Definition 1) check ----------------------------------------------
+
+
+def check_compliance_strict(
+    plan: PhysicalPlan, evaluator: PolicyEvaluator
+) -> list[Violation]:
+    """Literal Definition 1: for every operator ``o``, every maximal
+    single-database single-location subtree strictly below it whose output
+    crosses a border must have ``l_o`` among its legal destinations."""
+    violations: list[Violation] = []
+
+    def is_local_uniform(node: PhysicalPlan) -> bool:
+        locations = {n.location for n in node.walk() if not isinstance(n, Ship)}
+        has_ship = any(isinstance(n, Ship) for n in node.walk())
+        logical = to_logical(node)
+        return (
+            not has_ship
+            and len(locations) == 1
+            and len(logical.source_databases) == 1
+            and not any(isinstance(n, LogicalUnion) for n in logical.walk())
+        )
+
+    # Frontier subqueries: children of SHIP operators that are local and
+    # uniform; their legal destination sets constrain every ancestor.
+    frontier: list[tuple[PhysicalPlan, frozenset[str]]] = []
+    for node in plan.walk():
+        if isinstance(node, Ship) and node.child is not None:
+            if is_local_uniform(node.child):
+                grant = _grant(evaluator, to_logical(node.child))
+                frontier.append((node.child, grant))
+
+    frontier_ids = {id(n) for n, _ in frontier}
+    grants = {id(n): g for n, g in frontier}
+
+    def descend(node: PhysicalPlan) -> list[int]:
+        """Returns ids of frontier nodes in the subtree rooted at node."""
+        below: list[int] = []
+        for child in node.children():
+            below.extend(descend(child))
+        if id(node) in frontier_ids:
+            below.append(id(node))
+            return below
+        if isinstance(node, Ship):
+            # The SHIP itself moves everything below it to its target —
+            # the target must be legal for every crossing subquery, which
+            # also covers a SHIP at the plan root with no consumer above.
+            for frontier_id in below:
+                allowed = grants[frontier_id]
+                if node.target not in allowed:
+                    violations.append(
+                        Violation(
+                            node,
+                            f"ships a cross-border subquery legal only at "
+                            f"{sorted(allowed)} to {node.target!r}",
+                        )
+                    )
+            return below
+        # Condition c2 for this operator.
+        for frontier_id in below:
+            allowed = grants[frontier_id]
+            if node.location not in allowed:
+                violations.append(
+                    Violation(
+                        node,
+                        f"at {node.location!r} consumes data from a "
+                        f"cross-border subquery legal only at {sorted(allowed)}",
+                    )
+                )
+        return below
+
+    descend(plan)
+    # Condition c1: tablescans must run at their table's location.
+    for node in plan.walk():
+        if isinstance(node, TableScan):
+            try:
+                stored = evaluator.policies.catalog.stored_table(
+                    node.database, node.table
+                )
+            except Exception:
+                continue
+            if stored.location != node.location:
+                violations.append(
+                    Violation(
+                        node,
+                        f"scans {node.database}.{node.table} at "
+                        f"{node.location!r} but the table lives at "
+                        f"{stored.location!r}",
+                    )
+                )
+    return violations

@@ -1,0 +1,63 @@
+"""Pretty-printing of logical, physical, and annotated plans (EXPLAIN)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .logical import LogicalPlan
+from .physical import PhysicalPlan
+
+
+def explain_logical(plan: LogicalPlan, indent: int = 0) -> str:
+    """Render a logical plan as an indented operator tree."""
+    lines: list[str] = []
+
+    def recurse(node: LogicalPlan, depth: int) -> None:
+        lines.append("  " * depth + str(node))
+        for child in node.children():
+            recurse(child, depth + 1)
+
+    recurse(plan, indent)
+    return "\n".join(lines)
+
+
+def explain_physical(plan: PhysicalPlan, show_rows: bool = False) -> str:
+    """Render a located physical plan, one operator per line, annotated
+    with its execution location (and optionally the row estimate)."""
+    lines: list[str] = []
+
+    def recurse(node: PhysicalPlan, depth: int) -> None:
+        annotation = f" @ {node.location}"
+        if show_rows:
+            annotation += f" (~{node.estimated_rows:.0f} rows)"
+        lines.append("  " * depth + node.describe() + annotation)
+        for child in node.children():
+            recurse(child, depth + 1)
+
+    recurse(plan, 0)
+    return "\n".join(lines)
+
+
+def explain_annotated(root: Any) -> str:
+    """Render a phase-1 annotated plan with its execution trait ℰ and
+    shipping trait 𝒮 per operator (the paper's Fig. 4 view).
+
+    ``root`` is an :class:`~repro.optimizer.AnnotatedNode`; typed as Any
+    to keep the plan package free of optimizer imports.
+    """
+    lines: list[str] = []
+
+    def fmt(trait: frozenset) -> str:
+        return "{" + ", ".join(sorted(trait)) + "}"
+
+    def recurse(node: Any, depth: int) -> None:
+        lines.append(
+            "  " * depth
+            + f"{node.op}  E={fmt(node.execution_trait)} "
+            + f"S={fmt(node.shipping_trait)} (~{node.rows:.0f} rows)"
+        )
+        for child in node.children:
+            recurse(child, depth + 1)
+
+    recurse(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Dataflow policy specification and evaluation (paper sections 4-5)."""
+
+from .language import ALL_LOCATIONS, PolicyExpression
+from .parser import parse_policy
+from .catalog import PolicyCatalog
+from .localquery import Lineage, LocalQuery, describe_local_query
+from .evaluator import PolicyEvalStats, PolicyEvaluator
+from .negation import (
+    NegativePolicy,
+    apply_closed_world,
+    compile_negative_policies,
+    parse_negative,
+)
+
+__all__ = [
+    "ALL_LOCATIONS",
+    "PolicyExpression",
+    "parse_policy",
+    "PolicyCatalog",
+    "Lineage",
+    "LocalQuery",
+    "describe_local_query",
+    "PolicyEvalStats",
+    "PolicyEvaluator",
+    "NegativePolicy",
+    "apply_closed_world",
+    "compile_negative_policies",
+    "parse_negative",
+]

@@ -1,0 +1,66 @@
+"""Policy catalog: stores policy expressions per (database, table).
+
+Mirrors the paper's architecture (Fig. 2): data officers register policy
+expressions offline; the optimizer's policy evaluator reads them at
+query-optimization time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from ..catalog import Catalog
+from ..expr import BaseColumn
+from .language import PolicyExpression
+from .parser import parse_policy
+
+
+class PolicyCatalog:
+    """All registered dataflow policies of the geo-distributed system."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._by_table: dict[tuple[str, str], list[PolicyExpression]] = defaultdict(list)
+        self._count = 0
+
+    def add(self, expression: PolicyExpression) -> PolicyExpression:
+        for table in expression.tables:
+            self._by_table[(expression.database, table)].append(expression)
+        self._count += 1
+        return expression
+
+    def add_text(self, text: str, default_database: str | None = None) -> PolicyExpression:
+        """Parse one policy expression and register it."""
+        return self.add(parse_policy(text, self.catalog, default_database))
+
+    def add_texts(self, texts: Iterable[str]) -> list[PolicyExpression]:
+        return [self.add_text(t) for t in texts]
+
+    def for_table(self, database: str, table: str) -> list[PolicyExpression]:
+        return self._by_table.get((database, table.lower()), [])
+
+    def for_attribute(self, attribute: BaseColumn) -> list[PolicyExpression]:
+        """Expressions that mention ``attribute`` in SHIP or GROUP BY."""
+        return [
+            e
+            for e in self.for_table(attribute.database, attribute.table)
+            if e.mentions(attribute)
+        ]
+
+    @property
+    def expressions(self) -> list[PolicyExpression]:
+        seen: list[PolicyExpression] = []
+        for exprs in self._by_table.values():
+            for e in exprs:
+                if all(e is not s for s in seen):
+                    seen.append(e)
+        return seen
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def all_locations(self) -> frozenset[str]:
+        """All locations of the system (resolves the ``to *`` wildcard)."""
+        return frozenset(self.catalog.locations)

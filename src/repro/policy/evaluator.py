@@ -1,0 +1,185 @@
+"""The policy evaluation algorithm 𝒜 (paper §5, Algorithm 1).
+
+Given a local query ``q`` (described by :class:`LocalQuery`) over database
+``D`` with policy expressions ``P``, compute the set of locations the
+query's output can legally be shipped to:
+
+1. associate an (initially empty) location set ``L_a`` with every output
+   attribute ``a ∈ A_q``;
+2. for every expression ``e`` whose ship/group attributes overlap ``A_q``
+   and whose predicate is implied by the query predicate
+   (``P_q ⇒ P_e``):
+
+   * basic expression → ``L_a ∪= L_e`` for ``a ∈ A_q ∩ A_e`` (this also
+     covers aggregate queries — the query output is *more* aggregated
+     than what the expression already allows);
+   * aggregate expression and aggregate query with ``G_q ⊆ G_e`` →
+     grant ``L_e`` to grouping attributes in ``G_e`` and to ship
+     attributes whose aggregate functions are all in ``F_e``;
+
+3. return ``⋂_{a ∈ A_q} L_a`` (empty if any attribute got nothing).
+
+The database's *home* location is always legal — data already resides
+there — which is how the paper uses 𝒜 in Definition 1 (§3.2 example:
+``𝒜(C, D_N, P_N) = {N}``).  Pass ``include_home=False`` to get the bare
+policy-derived set (the form used in Table 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..expr import BaseColumn, Expression, implies
+from .catalog import PolicyCatalog
+from .language import PolicyExpression
+from .localquery import LocalQuery
+
+
+@dataclass
+class PolicyEvalStats:
+    """Counters for the scalability study (Fig. 7's η value).
+
+    ``eta`` counts how often an expression was *applied* — one or more of
+    its ship attributes appear in the query output and the implication
+    test passed (Algorithm 1 reaching line 4).
+    """
+
+    evaluations: int = 0
+    expressions_scanned: int = 0
+    implication_checks: int = 0
+    implication_passes: int = 0
+    eta: int = 0
+
+    def reset(self) -> None:
+        self.evaluations = 0
+        self.expressions_scanned = 0
+        self.implication_checks = 0
+        self.implication_passes = 0
+        self.eta = 0
+
+
+class PolicyEvaluator:
+    """Evaluates 𝒜(q, D, P) against a :class:`PolicyCatalog`."""
+
+    def __init__(self, policies: PolicyCatalog) -> None:
+        self.policies = policies
+        self.stats = PolicyEvalStats()
+        self._implication_cache: dict[
+            tuple[Expression | None, Expression | None], bool
+        ] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def evaluate(self, query: LocalQuery, include_home: bool = True) -> frozenset[str]:
+        """Return the legal shipping destinations of ``query``'s output."""
+        self.stats.evaluations += 1
+        all_locations = self.policies.all_locations
+        home = self._home_location(query.database)
+        home_set = frozenset([home]) if (include_home and home) else frozenset()
+
+        attributes = query.output_attributes
+        if not attributes:
+            # No base attribute is exposed (e.g. COUNT(*) only): grant
+            # nothing beyond the home location.  Conservative; see module
+            # docstring of localquery.
+            return home_set
+
+        granted: dict[BaseColumn, set[str]] = {a: set() for a in attributes}
+        relevant = self._relevant_expressions(attributes)
+        for expression in relevant:
+            self.stats.expressions_scanned += 1
+            if not self._implies(query.predicate, expression.predicate):
+                continue
+            destinations = expression.destinations_resolved(all_locations)
+            applied = False
+            for attribute in attributes:
+                if self._expression_grants(expression, query, attribute):
+                    granted[attribute] |= destinations
+                    applied = True
+            if applied:
+                self.stats.eta += 1
+
+        result: frozenset[str] | None = None
+        for attribute in attributes:
+            locations = frozenset(granted[attribute])
+            result = locations if result is None else (result & locations)
+            if not result and not home_set:
+                return frozenset()
+        assert result is not None
+        return result | home_set
+
+    # -- internals -----------------------------------------------------------
+
+    def _home_location(self, database: str) -> str | None:
+        try:
+            return self.policies.catalog.database(database).location
+        except Exception:  # unknown database: no home shortcut
+            return None
+
+    def _relevant_expressions(
+        self, attributes: frozenset[BaseColumn]
+    ) -> list[PolicyExpression]:
+        tables = {(a.database, a.table) for a in attributes}
+        seen: list[PolicyExpression] = []
+        for database, table in sorted(tables):
+            for expression in self.policies.for_table(database, table):
+                if all(expression is not s for s in seen):
+                    seen.append(expression)
+        return seen
+
+    def _implies(
+        self, query_predicate: Expression | None, policy_predicate: Expression | None
+    ) -> bool:
+        self.stats.implication_checks += 1
+        key = (query_predicate, policy_predicate)
+        cached = self._implication_cache.get(key)
+        if cached is None:
+            cached = implies(query_predicate, policy_predicate)
+            self._implication_cache[key] = cached
+        if cached:
+            self.stats.implication_passes += 1
+        return cached
+
+    def _expression_grants(
+        self,
+        expression: PolicyExpression,
+        query: LocalQuery,
+        attribute: BaseColumn,
+    ) -> bool:
+        """Does ``expression`` allow shipping ``attribute`` as it appears in
+        the query output?  (Algorithm 1 lines 4–10, attribute-wise.)"""
+        lineages = query.lineages_of(attribute)
+        if not lineages:
+            return False
+        if not expression.is_aggregate:
+            # Basic expression: covers raw and any more-aggregated use.
+            return attribute in expression.ship_attributes
+        if not query.is_aggregate:
+            # Aggregate expression cannot authorize a non-aggregated query.
+            return False
+        if not (query.group_bases <= expression.group_by):
+            # G_q ⊄ G_e (the empty G_q of a full-column aggregate passes).
+            return False
+        granted = False
+        for lineage in lineages:
+            if lineage.is_raw:
+                # Raw appearance in an aggregate query means the attribute
+                # is (part of) a grouping key: allowed when e lists it as a
+                # grouping attribute.
+                if attribute in expression.group_by:
+                    granted = True
+                else:
+                    return False
+            else:
+                if (
+                    attribute in expression.ship_attributes
+                    and lineage.aggs <= expression.agg_functions
+                ):
+                    granted = True
+                elif attribute in expression.group_by and attribute in query.group_bases:
+                    # Grouping attribute also folded into an aggregate
+                    # elsewhere; the grouping grant suffices for this use.
+                    granted = True
+                else:
+                    return False
+        return granted

@@ -1,0 +1,193 @@
+"""Describing a local subplan for policy evaluation.
+
+Algorithm 1 of the paper evaluates a *query* ``q`` against policy
+expressions using: its output attributes ``A_q``, its predicate ``P_q``,
+whether it aggregates, its grouping attributes ``G_q``, and the aggregate
+function ``f_a`` applied to each output attribute.  The optimizer however
+works with *plans*.  This module analyzes a logical subplan that touches a
+single database and extracts exactly those ingredients, tracking attribute
+lineage through projections and aggregations.
+
+Conservative choices (each keeps the evaluator sound — it can only
+under-approximate the legal location set):
+
+* An attribute aggregated at several levels records *all* functions
+  applied; a policy expression must allow every one of them.
+* A value that was aggregated and then used as a grouping key upstream is
+  still treated as aggregated with its recorded functions.
+* Output expressions with no base attributes (literals, COUNT(*)) expose
+  no attribute and therefore grant nothing on their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import OptimizerError
+from ..expr import (
+    AggregateFunction,
+    BaseColumn,
+    Expression,
+    conjunction,
+    split_conjuncts,
+)
+from ..plan import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalUnion,
+)
+
+
+@dataclass(frozen=True)
+class Lineage:
+    """Lineage of one output field: base attributes it derives from and the
+    aggregate functions applied along the way (empty = raw value)."""
+
+    bases: frozenset[BaseColumn]
+    aggs: frozenset[AggregateFunction] = frozenset()
+
+    @property
+    def is_raw(self) -> bool:
+        return not self.aggs
+
+
+@dataclass(frozen=True)
+class LocalQuery:
+    """The evaluator's view of a single-database subplan.
+
+    ``output`` maps each output field name to its lineage; ``group_bases``
+    is ``G_q`` (grouping attributes of the outermost aggregation, ``None``
+    when the subplan does not aggregate); ``predicate`` is the conjunction
+    of every filter and join predicate in the subplan (``P_q``).
+    """
+
+    database: str
+    output: tuple[tuple[str, Lineage], ...]
+    predicate: Expression | None
+    is_aggregate: bool
+    group_bases: frozenset[BaseColumn] = frozenset()
+
+    @property
+    def output_attributes(self) -> frozenset[BaseColumn]:
+        """``A_q``: every base attribute mentioned in output expressions."""
+        out: set[BaseColumn] = set()
+        for _name, lineage in self.output:
+            out |= lineage.bases
+        return frozenset(out)
+
+    def lineages_of(self, attribute: BaseColumn) -> list[Lineage]:
+        return [
+            lin for _name, lin in self.output if attribute in lin.bases
+        ]
+
+
+def describe_local_query(plan: LogicalPlan) -> LocalQuery:
+    """Analyze a subplan whose scans all read one database.
+
+    Raises :class:`OptimizerError` when the subplan spans databases (the
+    caller — annotation rule AR4 — must only invoke this on local
+    subplans).
+    """
+    databases = plan.source_databases
+    if len(databases) != 1:
+        raise OptimizerError(
+            f"describe_local_query needs a single-database subplan, got {sorted(databases)}"
+        )
+
+    predicates: list[Expression] = []
+    state = _analyze(plan, predicates)
+    predicate = conjunction(predicates) if predicates else None
+    if predicate is not None and not split_conjuncts(predicate):
+        predicate = None
+    return LocalQuery(
+        database=next(iter(databases)),
+        output=tuple(state.field_lineage.items()),
+        predicate=predicate,
+        is_aggregate=state.is_aggregate,
+        group_bases=state.group_bases,
+    )
+
+
+@dataclass
+class _State:
+    field_lineage: dict[str, Lineage]
+    is_aggregate: bool = False
+    group_bases: frozenset[BaseColumn] = frozenset()
+
+
+def _expr_lineage(expr: Expression, child: dict[str, Lineage]) -> Lineage:
+    bases: set[BaseColumn] = set()
+    aggs: set[AggregateFunction] = set()
+    for name in expr.references():
+        lineage = child.get(name)
+        if lineage is None:
+            continue
+        bases |= lineage.bases
+        aggs |= lineage.aggs
+    return Lineage(frozenset(bases), frozenset(aggs))
+
+
+def _analyze(plan: LogicalPlan, predicates: list[Expression]) -> _State:
+    if isinstance(plan, LogicalScan):
+        lineage = {
+            f.name: Lineage(frozenset([f.base]) if f.base else frozenset())
+            for f in plan.fields
+        }
+        return _State(lineage)
+    if isinstance(plan, LogicalFilter):
+        state = _analyze(plan.child, predicates)
+        predicates.extend(split_conjuncts(plan.predicate))
+        return state
+    if isinstance(plan, LogicalJoin):
+        left = _analyze(plan.left, predicates)
+        right = _analyze(plan.right, predicates)
+        if plan.condition is not None:
+            predicates.extend(split_conjuncts(plan.condition))
+        lineage = dict(left.field_lineage)
+        lineage.update(right.field_lineage)
+        group_bases = left.group_bases | right.group_bases
+        return _State(
+            lineage,
+            is_aggregate=left.is_aggregate or right.is_aggregate,
+            group_bases=group_bases,
+        )
+    if isinstance(plan, LogicalProject):
+        state = _analyze(plan.child, predicates)
+        lineage = {
+            name: _expr_lineage(expr, state.field_lineage)
+            for expr, name in zip(plan.exprs, plan.names)
+        }
+        return _State(lineage, state.is_aggregate, state.group_bases)
+    if isinstance(plan, LogicalAggregate):
+        state = _analyze(plan.child, predicates)
+        lineage: dict[str, Lineage] = {}
+        group_bases: set[BaseColumn] = set()
+        for key in plan.group_keys:
+            key_lineage = state.field_lineage.get(
+                key.name, Lineage(frozenset())
+            )
+            lineage[key.name] = key_lineage
+            group_bases |= key_lineage.bases
+        for agg, name in zip(plan.aggregates, plan.agg_names):
+            if agg.argument is None:  # COUNT(*)
+                lineage[name] = Lineage(frozenset(), frozenset([agg.func]))
+                continue
+            arg_lineage = _expr_lineage(agg.argument, state.field_lineage)
+            lineage[name] = Lineage(
+                arg_lineage.bases, arg_lineage.aggs | {agg.func}
+            )
+        # The outermost aggregate determines G_q: what this subplan's
+        # output is grouped by.
+        return _State(lineage, is_aggregate=True, group_bases=frozenset(group_bases))
+    if isinstance(plan, LogicalSort):
+        return _analyze(plan.child, predicates)
+    if isinstance(plan, LogicalUnion):
+        raise OptimizerError(
+            "a UNION of fragments spans databases and is never a local query"
+        )
+    raise OptimizerError(f"unknown logical operator {type(plan).__name__}")

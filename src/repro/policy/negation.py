@@ -1,0 +1,190 @@
+"""Negative policy statements under a closed-world assumption.
+
+The paper's disclosure model (§4) is conservative: nothing may be shipped
+anywhere unless a policy expression allows it.  It notes that "in some
+cases negative instances, i.e., specifying what is not allowed, may be
+more convenient.  This can be handled by an additional preprocessing step
+under a closed world assumption."  This module is that preprocessing
+step:
+
+.. code-block:: text
+
+    deny attr, attr from table to location, location
+    deny *          from table to *
+    deny attr       from table to location where condition
+
+:func:`compile_negative_policies` closes the world over a set of DENY
+statements: starting from "everything of this table may go everywhere"
+it subtracts the denied (attribute, location) pairs and emits ordinary
+*positive* :class:`~repro.policy.PolicyExpression` objects, grouped by
+identical destination sets.
+
+Conditional denies (``where ...``) are handled conservatively: because a
+basic positive expression cannot say "all rows except these", a
+conditional deny removes the destination for the attribute entirely.
+This over-restricts — which is the sound direction for compliance.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..catalog import Catalog
+from ..errors import PolicySyntaxError
+from ..expr import BaseColumn
+from ..sql.lexer import TokenStream, tokenize
+from ..sql.parser import _parse_expr
+from .catalog import PolicyCatalog
+from .language import PolicyExpression
+from .parser import _resolve_tables
+
+
+@dataclass(frozen=True)
+class NegativePolicy:
+    """One parsed DENY statement."""
+
+    database: str
+    table: str
+    attributes: frozenset[str] | None  # None = all columns
+    locations: frozenset[str] | None  # None = all locations
+    conditional: bool = False
+    source_text: str = ""
+
+    def denies(self, column: str, location: str) -> bool:
+        if self.attributes is not None and column not in self.attributes:
+            return False
+        if self.locations is not None and location not in self.locations:
+            return False
+        return True
+
+
+def parse_negative(
+    text: str, catalog: Catalog, default_database: str | None = None
+) -> NegativePolicy:
+    """Parse one ``deny ... from ... to ...`` statement."""
+    stream = TokenStream(tokenize(text))
+    stream.expect_keyword("DENY")
+    attributes: frozenset[str] | None
+    if stream.accept_symbol("*"):
+        attributes = None
+    else:
+        names = [stream.expect_ident().text.lower()]
+        while stream.accept_symbol(","):
+            names.append(stream.expect_ident().text.lower())
+        attributes = frozenset(names)
+    stream.expect_keyword("FROM")
+    first = stream.expect_ident().text
+    db_name: str | None = None
+    table_name = first
+    if stream.accept_symbol("."):
+        db_name = first
+        table_name = stream.expect_ident().text
+    stream.expect_keyword("TO")
+    locations: frozenset[str] | None
+    if stream.accept_symbol("*"):
+        locations = None
+    else:
+        locs = [stream.expect_ident().text]
+        while stream.accept_symbol(","):
+            locs.append(stream.expect_ident().text)
+        locations = frozenset(locs)
+    conditional = False
+    if stream.accept_keyword("WHERE"):
+        _parse_expr(stream)  # validated but treated conservatively
+        conditional = True
+    stream.expect_end()
+
+    database, stored = _resolve_tables(
+        catalog, [(db_name, table_name, table_name.lower())], default_database
+    )
+    schema = stored[0].schema
+    if attributes is not None:
+        for name in attributes:
+            if not schema.has_column(name):
+                raise PolicySyntaxError(
+                    f"unknown column {name!r} in DENY for table {table_name!r}"
+                )
+    return NegativePolicy(
+        database=database,
+        table=schema.name.lower(),
+        attributes=attributes,
+        locations=locations,
+        conditional=conditional,
+        source_text=" ".join(text.split()),
+    )
+
+
+def compile_negative_policies(
+    catalog: Catalog,
+    denies: list[NegativePolicy],
+    all_locations: frozenset[str] | None = None,
+) -> list[PolicyExpression]:
+    """Close the world: everything not denied is allowed.
+
+    For every (database, table) mentioned in ``denies``, each column's
+    allowed destination set starts as all locations and loses every
+    location a DENY covers; columns with identical remaining sets are
+    merged into one positive basic expression.
+    """
+    locations = all_locations or frozenset(catalog.locations)
+    by_table: dict[tuple[str, str], list[NegativePolicy]] = defaultdict(list)
+    for deny in denies:
+        by_table[(deny.database, deny.table)].append(deny)
+
+    expressions: list[PolicyExpression] = []
+    for (database, table), table_denies in sorted(by_table.items()):
+        schema = catalog.stored_table(database, table).schema
+        allowed: dict[str, frozenset[str]] = {}
+        for column in schema.column_names:
+            remaining = set(locations)
+            for deny in table_denies:
+                denied_locations = (
+                    locations if deny.locations is None else deny.locations
+                )
+                for location in list(remaining):
+                    if location in denied_locations and deny.denies(
+                        column.lower(), location
+                    ):
+                        remaining.discard(location)
+            allowed[column.lower()] = frozenset(remaining)
+        groups: dict[frozenset[str], list[str]] = defaultdict(list)
+        for column, destinations in allowed.items():
+            if destinations:
+                groups[destinations].append(column)
+        for destinations, columns in sorted(
+            groups.items(), key=lambda kv: sorted(kv[1])
+        ):
+            expressions.append(
+                PolicyExpression(
+                    database=database,
+                    tables=(table,),
+                    ship_attributes=frozenset(
+                        BaseColumn(database, table, c) for c in columns
+                    ),
+                    destinations=destinations,
+                    source_text=(
+                        f"ship {', '.join(sorted(columns))} from {table} "
+                        f"to {', '.join(sorted(destinations))} "
+                        "-- compiled from DENY statements (closed world)"
+                    ),
+                )
+            )
+    return expressions
+
+
+def apply_closed_world(
+    policies: PolicyCatalog,
+    deny_texts: list[str],
+    default_database: str | None = None,
+) -> list[PolicyExpression]:
+    """Parse DENY statements, compile them, and register the resulting
+    positive expressions in ``policies``.  Returns what was registered."""
+    denies = [
+        parse_negative(text, policies.catalog, default_database)
+        for text in deny_texts
+    ]
+    compiled = compile_negative_policies(policies.catalog, denies)
+    for expression in compiled:
+        policies.add(expression)
+    return compiled

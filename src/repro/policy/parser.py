@@ -1,0 +1,199 @@
+"""Parser for policy expressions (paper §4).
+
+Grammar (keywords case-insensitive; ``where`` and ``group by`` may appear
+in either order, the paper uses both)::
+
+    policy   := SHIP ship_list [AS AGGREGATES fn_list]
+                FROM table_list TO loc_list [WHERE expr] [GROUP BY attrs]
+    ship_list:= '*' | attr (',' attr)*
+    table_list := table_ref (',' table_ref)*
+    table_ref:= [db '.'] name [alias]
+    loc_list := '*' | location (',' location)*
+
+Predicates are bound against the named tables' schemas so their column
+references carry base-column provenance, letting the implication test
+match them against query predicates.
+"""
+
+from __future__ import annotations
+
+from ..catalog import Catalog
+from ..errors import PolicySyntaxError
+from ..expr import AggregateFunction, BaseColumn, Expression
+from ..plan import Field
+from ..sql.ast import AstExpr
+from ..sql.binder import Binder, Scope
+from ..sql.lexer import TokenStream, TokenType, tokenize
+from ..sql.parser import _parse_expr  # shared expression grammar
+from .language import PolicyExpression
+
+_POLICY_KEYWORDS = {"SHIP", "FROM", "TO", "WHERE", "GROUP", "BY", "AS", "AGGREGATES"}
+
+
+def parse_policy(text: str, catalog: Catalog, default_database: str | None = None) -> PolicyExpression:
+    """Parse and bind one policy expression against ``catalog``.
+
+    ``default_database`` resolves unqualified table names whose catalog
+    entry is unambiguous; qualified names (``db-1.customer``) name the
+    database explicitly (the paper's Table 3 uses this form).
+    """
+    stream = TokenStream(tokenize(text))
+    stream.expect_keyword("SHIP")
+
+    ship_all = False
+    attribute_names: list[str] = []
+    if stream.accept_symbol("*"):
+        ship_all = True
+    else:
+        attribute_names.append(stream.expect_ident().text.lower())
+        while stream.accept_symbol(","):
+            attribute_names.append(stream.expect_ident().text.lower())
+
+    agg_functions: list[AggregateFunction] = []
+    is_aggregate = False
+    if stream.accept_keyword("AS"):
+        stream.expect_keyword("AGGREGATES")
+        is_aggregate = True
+        agg_functions.append(_parse_agg_function(stream))
+        while stream.accept_symbol(","):
+            agg_functions.append(_parse_agg_function(stream))
+
+    stream.expect_keyword("FROM")
+    table_refs: list[tuple[str | None, str, str]] = []  # (db, table, alias)
+    table_refs.append(_parse_table_ref(stream))
+    while stream.accept_symbol(","):
+        table_refs.append(_parse_table_ref(stream))
+
+    stream.expect_keyword("TO")
+    destinations: list[str] | None
+    if stream.accept_symbol("*"):
+        destinations = None
+    else:
+        destinations = [stream.expect_ident().text]
+        while stream.accept_symbol(","):
+            destinations.append(stream.expect_ident().text)
+
+    predicate_ast: AstExpr | None = None
+    group_names: list[str] = []
+    while not stream.exhausted:
+        if stream.accept_keyword("WHERE"):
+            if predicate_ast is not None:
+                raise PolicySyntaxError("duplicate WHERE clause")
+            predicate_ast = _parse_expr(stream)
+        elif stream.accept_keyword("GROUP"):
+            stream.expect_keyword("BY")
+            if group_names:
+                raise PolicySyntaxError("duplicate GROUP BY clause")
+            group_names.append(stream.expect_ident().text.lower())
+            while stream.accept_symbol(","):
+                group_names.append(stream.expect_ident().text.lower())
+        else:
+            raise PolicySyntaxError(
+                f"unexpected token {stream.current.text!r} in policy expression"
+            )
+    if group_names and not is_aggregate:
+        raise PolicySyntaxError("GROUP BY requires AS AGGREGATES")
+
+    # -- bind against the catalog -------------------------------------------
+    database, stored_tables = _resolve_tables(catalog, table_refs, default_database)
+    table_names = tuple(t.schema.name.lower() for t in stored_tables)
+
+    fields: list[Field] = []
+    for (db_name, _table, alias), stored in zip(table_refs, stored_tables):
+        table_lower = stored.schema.name.lower()
+        for col in stored.schema.columns:
+            base = BaseColumn(database, table_lower, col.name.lower())
+            # Expose both alias-qualified and table-qualified names.
+            fields.append(Field(f"{alias}.{col.name.lower()}", col.dtype, base, col.width))
+    scope = Scope(tuple(fields))
+
+    def resolve_attr(name: str) -> BaseColumn:
+        field = scope.resolve(None, name)
+        assert field.base is not None
+        return field.base
+
+    if ship_all:
+        ship_attributes = frozenset(
+            BaseColumn(database, t.schema.name.lower(), col.name.lower())
+            for t in stored_tables
+            for col in t.schema.columns
+        )
+    else:
+        ship_attributes = frozenset(resolve_attr(a) for a in attribute_names)
+    group_by = frozenset(resolve_attr(g) for g in group_names)
+
+    predicate: Expression | None = None
+    if predicate_ast is not None:
+        binder = Binder(catalog)
+        predicate = binder._bind_expr(predicate_ast, scope, allow_aggregates=False)
+
+    if len(stored_tables) > 1 and predicate is None:
+        raise PolicySyntaxError(
+            "a multi-table policy expression must state the join predicate "
+            "in its WHERE clause (paper footnote 4)"
+        )
+
+    return PolicyExpression(
+        database=database,
+        tables=table_names,
+        ship_attributes=ship_attributes,
+        destinations=None if destinations is None else frozenset(destinations),
+        predicate=predicate,
+        is_aggregate=is_aggregate,
+        agg_functions=frozenset(agg_functions),
+        group_by=group_by,
+        source_text=" ".join(text.split()),
+    )
+
+
+def _parse_agg_function(stream: TokenStream) -> AggregateFunction:
+    token = stream.expect_ident()
+    try:
+        return AggregateFunction[token.upper]
+    except KeyError:
+        raise PolicySyntaxError(
+            f"unknown aggregate function {token.text!r}"
+        ) from None
+
+
+def _parse_table_ref(stream: TokenStream) -> tuple[str | None, str, str]:
+    first = stream.expect_ident().text
+    database: str | None = None
+    name = first
+    if stream.accept_symbol("."):
+        database = first
+        name = stream.expect_ident().text
+    alias = name.lower()
+    token = stream.current
+    if token.type == TokenType.IDENT and token.upper not in _POLICY_KEYWORDS:
+        alias = stream.advance().text.lower()
+    return database, name, alias
+
+
+def _resolve_tables(catalog, table_refs, default_database):
+    """Resolve table refs to stored fragments, all in one database."""
+    databases: set[str] = set()
+    stored = []
+    for db_name, table, _alias in table_refs:
+        global_table = catalog.table(table)
+        if db_name is not None:
+            fragment = catalog.stored_table(db_name, table)
+        elif default_database is not None and any(
+            f.database == default_database for f in global_table.fragments
+        ):
+            fragment = catalog.stored_table(default_database, table)
+        elif len(global_table.fragments) == 1:
+            fragment = global_table.fragments[0]
+        else:
+            raise PolicySyntaxError(
+                f"table {table!r} is fragmented; qualify it with a database "
+                "(e.g. db-1.customer)"
+            )
+        databases.add(fragment.database)
+        stored.append(fragment)
+    if len(databases) != 1:
+        raise PolicySyntaxError(
+            "all tables of one policy expression must live in one database; "
+            f"got {sorted(databases)}"
+        )
+    return next(iter(databases)), stored

@@ -1,0 +1,7 @@
+"""SQL frontend: lexer, parser, and binder."""
+
+from .ast import SelectQuery
+from .parser import parse_expression, parse_query
+from .binder import Binder, Scope
+
+__all__ = ["SelectQuery", "parse_expression", "parse_query", "Binder", "Scope"]

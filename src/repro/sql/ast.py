@@ -1,0 +1,152 @@
+"""Abstract syntax tree produced by the SQL parser (pre-binding).
+
+AST expression nodes are untyped and reference columns by (qualifier,
+name); the binder resolves them against the catalog into the typed
+:mod:`repro.expr` representation with base-column provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+# -- scalar expressions ------------------------------------------------------
+
+
+class AstExpr:
+    """Base class of AST scalar expressions."""
+
+
+@dataclass(frozen=True)
+class AstColumn(AstExpr):
+    qualifier: str | None
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class AstLiteral(AstExpr):
+    value: object  # int | float | str | datetime.date | bool
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class AstBinary(AstExpr):
+    """Binary operator: comparison, arithmetic, AND, OR."""
+
+    op: str  # '=', '<>', '<', '<=', '>', '>=', '+', '-', '*', '/', 'AND', 'OR'
+    left: AstExpr
+    right: AstExpr
+
+
+@dataclass(frozen=True)
+class AstUnary(AstExpr):
+    op: str  # 'NOT', '-'
+    operand: AstExpr
+
+
+@dataclass(frozen=True)
+class AstLike(AstExpr):
+    operand: AstExpr
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class AstIn(AstExpr):
+    operand: AstExpr
+    values: tuple[AstLiteral, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class AstBetween(AstExpr):
+    operand: AstExpr
+    low: AstExpr
+    high: AstExpr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class AstIsNull(AstExpr):
+    operand: AstExpr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class AstFunction(AstExpr):
+    """Scalar function call (YEAR, SUBSTRING, ...)."""
+
+    name: str
+    args: tuple[AstExpr, ...]
+
+
+@dataclass(frozen=True)
+class AstAggregate(AstExpr):
+    """Aggregate call; ``argument`` is None for COUNT(*)."""
+
+    func: str  # SUM | COUNT | AVG | MIN | MAX
+    argument: AstExpr | None
+    distinct: bool = False
+
+
+# -- query structure ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: AstExpr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """FROM item naming a table: ``name [AS] alias``."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class DerivedTableRef:
+    """FROM item for a parenthesized subquery: ``(SELECT ...) AS alias``."""
+
+    query: "SelectQuery"
+    alias: str
+
+
+FromItem = Union[TableRef, DerivedTableRef]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: AstExpr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """One SELECT block.
+
+    ``star`` marks ``SELECT *``; explicit JOIN ... ON syntax is folded by
+    the parser into the from-item list plus WHERE conjuncts, which is
+    equivalent for inner joins (the only join type the engine supports).
+    """
+
+    items: tuple[SelectItem, ...]
+    from_items: tuple[FromItem, ...]
+    where: AstExpr | None = None
+    group_by: tuple[AstExpr, ...] = ()
+    having: AstExpr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    star: bool = False

@@ -1,0 +1,174 @@
+"""Hand-written tokenizer shared by the SQL parser and the policy
+expression parser (policy expressions are deliberately SQL-like, §4)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import SqlSyntaxError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+#: Multi-character operators first so the longest match wins.
+_SYMBOLS = ("<>", "<=", ">=", "!=", "=", "<", ">", "(", ")", ",", ".", "+", "-", "*", "/")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens.  Identifiers keep their original case;
+    keyword matching is done case-insensitively by the parsers."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            # SQL line comment.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf: list[str] = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError("unterminated string literal", i)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # Don't swallow a dot that starts a qualified name, as
+                    # numbers never directly precede identifiers.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_$"):
+                j += 1
+            tokens.append(Token(TokenType.IDENT, text[i:j], i))
+            i = j
+            continue
+        for sym in _SYMBOLS:
+            if text.startswith(sym, i):
+                tokens.append(Token(TokenType.SYMBOL, sym, i))
+                i += len(sym)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.END, "", n))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the lookahead helpers parsers need."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type != TokenType.END:
+            self._pos += 1
+        return token
+
+    def at_keyword(self, *keywords: str) -> bool:
+        token = self.current
+        return token.type == TokenType.IDENT and token.upper in keywords
+
+    def accept_keyword(self, *keywords: str) -> bool:
+        if self.at_keyword(*keywords):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, keyword: str) -> Token:
+        if not self.at_keyword(keyword):
+            raise SqlSyntaxError(
+                f"expected {keyword}, found {self.current.text!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def at_symbol(self, *symbols: str) -> bool:
+        token = self.current
+        return token.type == TokenType.SYMBOL and token.text in symbols
+
+    def accept_symbol(self, *symbols: str) -> bool:
+        if self.at_symbol(*symbols):
+            self.advance()
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if not self.at_symbol(symbol):
+            raise SqlSyntaxError(
+                f"expected {symbol!r}, found {self.current.text!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        token = self.current
+        if token.type != TokenType.IDENT:
+            raise SqlSyntaxError(
+                f"expected identifier, found {token.text!r}", token.position
+            )
+        return self.advance()
+
+    def expect_end(self) -> None:
+        if self.current.type != TokenType.END:
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self.current.text!r}",
+                self.current.position,
+            )
+
+    @property
+    def exhausted(self) -> bool:
+        return self.current.type == TokenType.END

@@ -1,0 +1,325 @@
+"""Recursive-descent SQL parser for the engine's SQL subset.
+
+Supported grammar (enough for the geo-adapted TPC-H workload of §7):
+
+.. code-block:: text
+
+    query     := SELECT item (',' item)* FROM from (',' from)*
+                 [WHERE expr] [GROUP BY expr (',' expr)*] [HAVING expr]
+                 [ORDER BY order (',' order)*] [LIMIT int]
+    item      := '*' | expr [[AS] ident]
+    from      := ident [[AS] ident]
+               | from JOIN from ON expr          -- folded into WHERE
+               | '(' query ')' [AS] ident        -- derived table
+    expr      := boolean expression over comparisons, arithmetic,
+                 [NOT] LIKE / IN / BETWEEN, IS [NOT] NULL,
+                 scalar functions, aggregates, DATE 'yyyy-mm-dd'
+"""
+
+from __future__ import annotations
+
+from ..datatypes import parse_date
+from ..errors import SqlSyntaxError
+from .ast import (
+    AstAggregate,
+    AstBetween,
+    AstBinary,
+    AstColumn,
+    AstExpr,
+    AstFunction,
+    AstIn,
+    AstIsNull,
+    AstLike,
+    AstLiteral,
+    AstUnary,
+    DerivedTableRef,
+    FromItem,
+    OrderItem,
+    SelectItem,
+    SelectQuery,
+    TableRef,
+)
+from .lexer import TokenStream, TokenType, tokenize
+
+_AGGREGATES = {"SUM", "COUNT", "AVG", "MIN", "MAX"}
+
+#: Keywords that terminate an expression or clause and therefore cannot be
+#: picked up as aliases.
+_RESERVED = {
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "HAVING", "LIMIT",
+    "AND", "OR", "NOT", "AS", "ON", "JOIN", "INNER", "IN", "LIKE",
+    "BETWEEN", "IS", "NULL", "ASC", "DESC", "DATE", "DISTINCT", "UNION",
+}
+
+
+def parse_query(text: str) -> SelectQuery:
+    """Parse ``text`` into a :class:`SelectQuery` AST."""
+    stream = TokenStream(tokenize(text))
+    query = _parse_select(stream)
+    stream.expect_end()
+    return query
+
+
+def parse_expression(text: str) -> AstExpr:
+    """Parse a standalone scalar/boolean expression (used by the policy
+    parser for WHERE clauses)."""
+    stream = TokenStream(tokenize(text))
+    expr = _parse_expr(stream)
+    stream.expect_end()
+    return expr
+
+
+def _parse_select(stream: TokenStream) -> SelectQuery:
+    stream.expect_keyword("SELECT")
+    stream.accept_keyword("DISTINCT")  # tolerated; engine treats as plain
+    star = False
+    items: list[SelectItem] = []
+    if stream.at_symbol("*"):
+        stream.advance()
+        star = True
+    else:
+        items.append(_parse_select_item(stream))
+        while stream.accept_symbol(","):
+            items.append(_parse_select_item(stream))
+    stream.expect_keyword("FROM")
+    from_items: list[FromItem] = []
+    join_conditions: list[AstExpr] = []
+    from_items.append(_parse_from_item(stream))
+    while True:
+        if stream.accept_symbol(","):
+            from_items.append(_parse_from_item(stream))
+            continue
+        if stream.at_keyword("JOIN", "INNER"):
+            stream.accept_keyword("INNER")
+            stream.expect_keyword("JOIN")
+            from_items.append(_parse_from_item(stream))
+            stream.expect_keyword("ON")
+            join_conditions.append(_parse_expr(stream))
+            continue
+        break
+    where: AstExpr | None = None
+    if stream.accept_keyword("WHERE"):
+        where = _parse_expr(stream)
+    for condition in join_conditions:
+        where = condition if where is None else AstBinary("AND", where, condition)
+    group_by: list[AstExpr] = []
+    if stream.accept_keyword("GROUP"):
+        stream.expect_keyword("BY")
+        group_by.append(_parse_expr(stream))
+        while stream.accept_symbol(","):
+            group_by.append(_parse_expr(stream))
+    having: AstExpr | None = None
+    if stream.accept_keyword("HAVING"):
+        having = _parse_expr(stream)
+    order_by: list[OrderItem] = []
+    if stream.accept_keyword("ORDER"):
+        stream.expect_keyword("BY")
+        order_by.append(_parse_order_item(stream))
+        while stream.accept_symbol(","):
+            order_by.append(_parse_order_item(stream))
+    limit: int | None = None
+    if stream.accept_keyword("LIMIT"):
+        token = stream.advance()
+        if token.type != TokenType.NUMBER:
+            raise SqlSyntaxError("LIMIT expects a number", token.position)
+        limit = int(token.text)
+    return SelectQuery(
+        items=tuple(items),
+        from_items=tuple(from_items),
+        where=where,
+        group_by=tuple(group_by),
+        having=having,
+        order_by=tuple(order_by),
+        limit=limit,
+        star=star,
+    )
+
+
+def _parse_select_item(stream: TokenStream) -> SelectItem:
+    expr = _parse_expr(stream)
+    alias: str | None = None
+    if stream.accept_keyword("AS"):
+        alias = stream.expect_ident().text
+    elif stream.current.type == TokenType.IDENT and stream.current.upper not in _RESERVED:
+        alias = stream.advance().text
+    return SelectItem(expr, alias)
+
+
+def _parse_from_item(stream: TokenStream) -> FromItem:
+    if stream.accept_symbol("("):
+        query = _parse_select(stream)
+        stream.expect_symbol(")")
+        stream.accept_keyword("AS")
+        alias = stream.expect_ident().text
+        return DerivedTableRef(query, alias)
+    name = stream.expect_ident().text
+    alias: str | None = None
+    if stream.accept_keyword("AS"):
+        alias = stream.expect_ident().text
+    elif stream.current.type == TokenType.IDENT and stream.current.upper not in _RESERVED:
+        alias = stream.advance().text
+    return TableRef(name, alias)
+
+
+def _parse_order_item(stream: TokenStream) -> OrderItem:
+    expr = _parse_expr(stream)
+    descending = False
+    if stream.accept_keyword("DESC"):
+        descending = True
+    else:
+        stream.accept_keyword("ASC")
+    return OrderItem(expr, descending)
+
+
+# -- expression grammar ------------------------------------------------------
+
+
+def _parse_expr(stream: TokenStream) -> AstExpr:
+    return _parse_or(stream)
+
+
+def _parse_or(stream: TokenStream) -> AstExpr:
+    left = _parse_and(stream)
+    while stream.accept_keyword("OR"):
+        right = _parse_and(stream)
+        left = AstBinary("OR", left, right)
+    return left
+
+
+def _parse_and(stream: TokenStream) -> AstExpr:
+    left = _parse_not(stream)
+    while stream.accept_keyword("AND"):
+        right = _parse_not(stream)
+        left = AstBinary("AND", left, right)
+    return left
+
+
+def _parse_not(stream: TokenStream) -> AstExpr:
+    if stream.accept_keyword("NOT"):
+        return AstUnary("NOT", _parse_not(stream))
+    return _parse_predicate(stream)
+
+
+def _parse_predicate(stream: TokenStream) -> AstExpr:
+    left = _parse_additive(stream)
+    if stream.at_symbol("=", "<>", "!=", "<", "<=", ">", ">="):
+        op = stream.advance().text
+        if op == "!=":
+            op = "<>"
+        right = _parse_additive(stream)
+        return AstBinary(op, left, right)
+    negated = False
+    if stream.at_keyword("NOT") and stream.peek(1).upper in ("LIKE", "IN", "BETWEEN"):
+        stream.advance()
+        negated = True
+    if stream.accept_keyword("LIKE"):
+        token = stream.advance()
+        if token.type != TokenType.STRING:
+            raise SqlSyntaxError("LIKE expects a string pattern", token.position)
+        return AstLike(left, token.text, negated)
+    if stream.accept_keyword("IN"):
+        stream.expect_symbol("(")
+        values = [_parse_literal(stream)]
+        while stream.accept_symbol(","):
+            values.append(_parse_literal(stream))
+        stream.expect_symbol(")")
+        return AstIn(left, tuple(values), negated)
+    if stream.accept_keyword("BETWEEN"):
+        low = _parse_additive(stream)
+        stream.expect_keyword("AND")
+        high = _parse_additive(stream)
+        return AstBetween(left, low, high, negated)
+    if stream.accept_keyword("IS"):
+        is_negated = stream.accept_keyword("NOT")
+        stream.expect_keyword("NULL")
+        return AstIsNull(left, is_negated)
+    return left
+
+
+def _parse_additive(stream: TokenStream) -> AstExpr:
+    left = _parse_multiplicative(stream)
+    while stream.at_symbol("+", "-"):
+        op = stream.advance().text
+        right = _parse_multiplicative(stream)
+        left = AstBinary(op, left, right)
+    return left
+
+
+def _parse_multiplicative(stream: TokenStream) -> AstExpr:
+    left = _parse_unary(stream)
+    while stream.at_symbol("*", "/"):
+        op = stream.advance().text
+        right = _parse_unary(stream)
+        left = AstBinary(op, left, right)
+    return left
+
+
+def _parse_unary(stream: TokenStream) -> AstExpr:
+    if stream.accept_symbol("-"):
+        return AstUnary("-", _parse_unary(stream))
+    return _parse_primary(stream)
+
+
+def _parse_literal(stream: TokenStream) -> AstLiteral:
+    token = stream.current
+    if token.type == TokenType.NUMBER:
+        stream.advance()
+        value = float(token.text) if "." in token.text else int(token.text)
+        return AstLiteral(value)
+    if token.type == TokenType.STRING:
+        stream.advance()
+        return AstLiteral(token.text)
+    if stream.at_keyword("DATE"):
+        stream.advance()
+        date_token = stream.advance()
+        if date_token.type != TokenType.STRING:
+            raise SqlSyntaxError("DATE expects a string literal", date_token.position)
+        return AstLiteral(parse_date(date_token.text))
+    if stream.accept_symbol("-"):
+        inner = _parse_literal(stream)
+        return AstLiteral(-inner.value)  # type: ignore[operator]
+    raise SqlSyntaxError(f"expected literal, found {token.text!r}", token.position)
+
+
+def _parse_primary(stream: TokenStream) -> AstExpr:
+    token = stream.current
+    if stream.accept_symbol("("):
+        expr = _parse_expr(stream)
+        stream.expect_symbol(")")
+        return expr
+    if token.type in (TokenType.NUMBER, TokenType.STRING):
+        return _parse_literal(stream)
+    if token.type == TokenType.IDENT:
+        upper = token.upper
+        if upper == "DATE" and stream.peek(1).type == TokenType.STRING:
+            return _parse_literal(stream)
+        if upper == "NULL":
+            stream.advance()
+            return AstLiteral(None)
+        if upper in _AGGREGATES and stream.peek(1).text == "(":
+            stream.advance()
+            stream.expect_symbol("(")
+            distinct = stream.accept_keyword("DISTINCT")
+            if stream.accept_symbol("*"):
+                argument: AstExpr | None = None
+            else:
+                argument = _parse_expr(stream)
+            stream.expect_symbol(")")
+            return AstAggregate(upper, argument, distinct)
+        if stream.peek(1).text == "(" and stream.peek(1).type == TokenType.SYMBOL:
+            name = stream.advance().text
+            stream.expect_symbol("(")
+            args: list[AstExpr] = []
+            if not stream.at_symbol(")"):
+                args.append(_parse_expr(stream))
+                while stream.accept_symbol(","):
+                    args.append(_parse_expr(stream))
+            stream.expect_symbol(")")
+            return AstFunction(name.upper(), tuple(args))
+        # Plain or qualified column reference.
+        first = stream.advance().text
+        if stream.accept_symbol("."):
+            second = stream.expect_ident().text
+            return AstColumn(first, second)
+        return AstColumn(None, first)
+    raise SqlSyntaxError(f"unexpected token {token.text!r}", token.position)

@@ -1,0 +1,54 @@
+"""Geo-distributed TPC-H substrate (paper section 7 evaluation setup)."""
+
+from .schema import ALL_TABLES, BASE_ROW_COUNTS, row_count
+from .datagen import TpchGenerator
+from .distribution import (
+    LOCATIONS,
+    TABLE_PLACEMENT,
+    build_benchmark,
+    build_catalog,
+    default_network,
+    home_database,
+)
+from .queries import EXTRA_QUERIES, JOIN_COMPLEXITY, QUERIES, Q1, Q2, Q3, Q5, Q6, Q7, Q8, Q9, Q10
+from .policygen import (
+    CURATED_SETS,
+    PolicyGenerator,
+    TABLE_PROPERTIES,
+    curated_policies,
+    locations_sweep_policies,
+)
+from .querygen import AdHocQueryGenerator, GeneratedQuery, JOIN_EDGES
+
+__all__ = [
+    "ALL_TABLES",
+    "BASE_ROW_COUNTS",
+    "row_count",
+    "TpchGenerator",
+    "LOCATIONS",
+    "TABLE_PLACEMENT",
+    "build_benchmark",
+    "build_catalog",
+    "default_network",
+    "home_database",
+    "EXTRA_QUERIES",
+    "JOIN_COMPLEXITY",
+    "QUERIES",
+    "Q1",
+    "Q2",
+    "Q3",
+    "Q5",
+    "Q6",
+    "Q7",
+    "Q8",
+    "Q9",
+    "Q10",
+    "CURATED_SETS",
+    "PolicyGenerator",
+    "TABLE_PROPERTIES",
+    "curated_policies",
+    "locations_sweep_policies",
+    "AdHocQueryGenerator",
+    "GeneratedQuery",
+    "JOIN_EDGES",
+]

@@ -1,0 +1,160 @@
+"""Geo-distribution of the TPC-H tables (paper Table 2 and §7.5).
+
+Five local databases at five locations (the paper's footnote 12 names
+them Europe, Africa, Asia, North America, and Middle East for L1–L5):
+
+====  =====  ======================
+Loc.  DB     Tables
+====  =====  ======================
+L1    db1    customer, orders
+L2    db2    supplier, partsupp
+L3    db3    part
+L4    db4    lineitem
+L5    db5    nation, region
+====  =====  ======================
+
+§7.5 additionally fragments ``customer`` and ``orders`` across L1–L5 via
+GAV mappings (global table = union of per-database fragments);
+:func:`build_catalog` supports that through ``fragmented`` /
+``fragment_locations``.
+"""
+
+from __future__ import annotations
+
+from ..catalog import Catalog, TableSchema, TableStats, uniform_stats
+from ..geo import GeoDatabase, NetworkModel, synthetic_network
+from .datagen import MARKET_SEGMENTS, NATIONS, REGIONS, TpchGenerator
+from .schema import ALL_TABLES, row_count
+
+#: Location names L1..L5 (identifiers — usable in policy expressions).
+LOCATIONS = ("Europe", "Africa", "Asia", "NorthAmerica", "MiddleEast")
+
+#: Table 2 of the paper: database -> (location, tables).
+TABLE_PLACEMENT = {
+    "db1": ("Europe", ("customer", "orders")),
+    "db2": ("Africa", ("supplier", "partsupp")),
+    "db3": ("Asia", ("part",)),
+    "db4": ("NorthAmerica", ("lineitem",)),
+    "db5": ("MiddleEast", ("nation", "region")),
+}
+
+_SCHEMAS = {schema.name: schema for schema in ALL_TABLES}
+
+
+def _synthetic_stats(schema: TableSchema, rows: int, scale: float) -> TableStats:
+    """Plausible distinct counts without generating data (fast path used by
+    the optimization-time benchmarks, where only estimates matter).
+
+    Foreign-key columns get the referenced table's cardinality as their
+    distinct count — without this, join outputs are underestimated by
+    orders of magnitude and the site selector "caravans" intermediates
+    through every site."""
+    overrides: dict[str, int] = {}
+    for fk in schema.foreign_keys:
+        if len(fk.columns) == 1:
+            ref_rows = row_count(fk.ref_table, scale)
+            overrides[fk.columns[0]] = max(1, min(rows, ref_rows))
+    known_distinct = {
+        "r_name": len(REGIONS),
+        "n_name": len(NATIONS),
+        "n_regionkey": len(REGIONS),
+        "c_mktsegment": len(MARKET_SEGMENTS),
+        "c_nationkey": len(NATIONS),
+        "s_nationkey": len(NATIONS),
+        "p_size": 50,
+        "p_type": 150,
+        "p_brand": 25,
+        "p_mfgr": 5,
+        "o_orderdate": 2400,
+        "o_orderstatus": 3,
+        "l_returnflag": 3,
+        "l_linestatus": 2,
+        "l_shipdate": 2500,
+        "l_quantity": 50,
+    }
+    for col in schema.columns:
+        if col.name in known_distinct:
+            overrides[col.name] = min(rows, known_distinct[col.name]) or 1
+    return uniform_stats(schema, rows, overrides)
+
+
+def build_catalog(
+    scale: float = 0.01,
+    fragmented: tuple[str, ...] = (),
+    fragment_locations: int = 5,
+) -> Catalog:
+    """Build the geo-distributed TPC-H catalog with synthetic statistics.
+
+    ``fragmented`` names global tables to distribute over the first
+    ``fragment_locations`` databases (GAV union mapping, §7.5); all other
+    tables follow Table 2.
+    """
+    catalog = Catalog()
+    for db_name, (location, _tables) in TABLE_PLACEMENT.items():
+        catalog.add_database(db_name, location)
+    db_names = list(TABLE_PLACEMENT)
+    for db_name, (_location, tables) in TABLE_PLACEMENT.items():
+        for table in tables:
+            schema = _SCHEMAS[table]
+            total = row_count(table, scale)
+            if table in fragmented:
+                share = max(1, total // fragment_locations)
+                fragments = [
+                    (db_names[i], _synthetic_stats(schema, share, scale))
+                    for i in range(fragment_locations)
+                ]
+                catalog.add_fragmented_table(schema, fragments)
+            else:
+                catalog.add_table(
+                    db_name, schema, stats=_synthetic_stats(schema, total, scale)
+                )
+    return catalog
+
+
+def build_benchmark(
+    scale: float = 0.01,
+    seed: int = 2021,
+    fragmented: tuple[str, ...] = (),
+    fragment_locations: int = 5,
+    stats_scale: float | None = None,
+) -> tuple[Catalog, GeoDatabase]:
+    """Build catalog *and* load generated data.
+
+    By default the loaded data makes the statistics exact.  Passing
+    ``stats_scale`` keeps the catalog's synthetic statistics at that scale
+    instead — the plan-quality experiment optimizes plans against
+    production-scale (SF 1) statistics while executing them on scaled-down
+    data, so plan choices match the optimization-time experiments and only
+    the measured bytes shrink (linearly)."""
+    catalog = build_catalog(
+        stats_scale if stats_scale is not None else scale,
+        fragmented=fragmented,
+        fragment_locations=fragment_locations,
+    )
+    database = GeoDatabase(catalog)
+    generator = TpchGenerator(scale=scale, seed=seed)
+    db_names = list(TABLE_PLACEMENT)
+    update_stats = stats_scale is None
+    for db_name, (_location, tables) in TABLE_PLACEMENT.items():
+        for table in tables:
+            rows = list(generator.table(table))
+            if table in fragmented:
+                # Round-robin rows over the fragment databases.
+                for i in range(fragment_locations):
+                    shard = rows[i::fragment_locations]
+                    database.load(db_names[i], table, shard, update_stats=update_stats)
+            else:
+                database.load(db_name, table, rows, update_stats=update_stats)
+    return catalog, database
+
+
+def default_network() -> NetworkModel:
+    return synthetic_network(LOCATIONS)
+
+
+def home_database(table: str) -> str:
+    """Database storing ``table`` under the Table 2 placement."""
+    for db_name, (_location, tables) in TABLE_PLACEMENT.items():
+        if table in tables:
+            return db_name
+    raise KeyError(table)

@@ -1,0 +1,304 @@
+"""Policy-expression workloads for the TPC-H evaluation (paper §7.1).
+
+Two kinds:
+
+* **Curated sets** (:func:`curated_policies`) — hand-designed T / C / CR /
+  CR+A sets in the spirit of the paper's Table 3, engineered so that (a)
+  every one of the six evaluation queries has a compliant plan, and (b)
+  the *traditional* optimizer's cost-optimal plan is non-compliant for the
+  same queries as the paper's Fig. 5(a): Q2 under every set (the Part
+  table may not be shipped to Africa, where the large Partsupp lives),
+  plus Q3 and Q10 under CR and CR+A (Orders may reach North America only
+  for 1994-and-later rows, which Q3/Q10 do not imply; their compliant
+  plans instead ship filtered — or under CR+A pre-aggregated, as in the
+  paper's Fig. 5(e) — Lineitem data to Europe).
+
+* **A generator** (:class:`PolicyGenerator`) — instantiates the paper's
+  four expression templates with seeded randomness for the 400-ad-hoc-
+  query effectiveness experiment and the scalability studies.  Following
+  §7.1 ("all policy expressions are of a form that there always exists at
+  least one compliant QEP"), the generator can emit *hub coverage*: one
+  unconditional full-column expression per table targeting a designated
+  hub location, guaranteeing feasibility of every query.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..catalog import Catalog
+from ..policy import PolicyCatalog
+from .distribution import LOCATIONS
+from .schema import ALL_TABLES
+
+# ---------------------------------------------------------------------------
+# Curated sets (Fig. 5(a) / Table 3)
+# ---------------------------------------------------------------------------
+
+_SET_T = [
+    "ship * from nation to *",
+    "ship * from region to *",
+    "ship * from customer to Europe, NorthAmerica",
+    "ship * from orders to Europe, NorthAmerica",
+    "ship * from supplier to *",
+    "ship * from partsupp to Africa, Asia, NorthAmerica, Europe",
+    "ship * from part to Asia, NorthAmerica, Europe",
+    "ship * from lineitem to NorthAmerica, Europe, Asia",
+]
+
+_CUSTOMER_COLS = (
+    "c_custkey, c_name, c_address, c_phone, c_acctbal, c_nationkey, c_mktsegment"
+)
+_ORDER_COLS = "o_custkey, o_orderkey, o_orderdate, o_totalprice, o_shippriority"
+_SUPPLIER_COLS = "s_suppkey, s_name, s_address, s_phone, s_acctbal, s_nationkey"
+_PARTSUPP_COLS = "ps_partkey, ps_suppkey, ps_supplycost, ps_availqty"
+_PART_COLS = "p_partkey, p_name, p_mfgr, p_brand, p_type, p_size, p_retailprice"
+_LINEITEM_COLS = (
+    "l_orderkey, l_partkey, l_suppkey, l_quantity, l_extendedprice, "
+    "l_discount, l_shipdate, l_returnflag"
+)
+
+_SET_C = [
+    "ship n_nationkey, n_name, n_regionkey from nation to *",
+    "ship r_regionkey, r_name from region to *",
+    f"ship {_CUSTOMER_COLS} from customer to Europe, NorthAmerica",
+    f"ship {_ORDER_COLS} from orders to Europe, NorthAmerica",
+    f"ship {_SUPPLIER_COLS} from supplier to *",
+    f"ship {_PARTSUPP_COLS} from partsupp to Africa, Asia, NorthAmerica, Europe",
+    f"ship {_PART_COLS} from part to Asia, NorthAmerica, Europe",
+    f"ship {_LINEITEM_COLS} from lineitem to NorthAmerica, Europe, Asia",
+    "ship c_comment from customer to Europe",
+    "ship o_clerk, o_orderpriority from orders to Europe",
+]
+
+_SET_CR = [
+    "ship n_nationkey, n_name, n_regionkey from nation to *",
+    "ship r_regionkey, r_name from region to *",
+    f"ship {_CUSTOMER_COLS} from customer to Europe, NorthAmerica",
+    "ship o_orderkey, o_orderdate from orders to *",
+    # Row condition: only 1994-and-later orders may leave for North
+    # America — Q3 (no lower date bound) and Q10 (1993 window) cannot
+    # satisfy it, so their cost-optimal plans become non-compliant.
+    f"ship {_ORDER_COLS} from orders to NorthAmerica "
+    "where o_orderdate >= DATE '1994-01-01'",
+    f"ship {_SUPPLIER_COLS} from supplier to *",
+    f"ship {_PARTSUPP_COLS} from partsupp to Africa, Asia, NorthAmerica, Europe",
+    f"ship {_PART_COLS} from part to Asia, NorthAmerica, Europe",
+    f"ship {_LINEITEM_COLS} from lineitem to NorthAmerica, Europe, Asia",
+    # Paper's e4 flavor (Table 3): parts may additionally reach Africa,
+    # but only large or copper ones — Q2's BRASS/size-15 parts do not qualify.
+    f"ship {_PART_COLS} from part to Africa "
+    "where p_size > 40 OR p_type LIKE '%COPPER%'",
+]
+
+_SET_CRA = _SET_CR[:8] + [
+    # Raw lineitem rows may reach Europe only for closed shipping windows
+    # (Q8's bounded window qualifies; Q3/Q10's open-ended predicates do
+    # not) ...
+    f"ship {_LINEITEM_COLS} from lineitem to NorthAmerica, Asia",
+    f"ship {_LINEITEM_COLS} from lineitem to Europe "
+    "where l_shipdate <= DATE '1997-05-01'",
+    # ... otherwise only aggregated revenue data may (the paper's e5,
+    # Table 3) — the compliant optimizer must push the revenue aggregation
+    # below the SHIP (Fig. 5(e)) instead of shipping raw rows.
+    "ship l_extendedprice, l_discount as aggregates sum from lineitem "
+    "to Europe group by l_suppkey, l_orderkey",
+]
+
+CURATED_SETS = {"T": _SET_T, "C": _SET_C, "CR": _SET_CR, "CR+A": _SET_CRA}
+
+
+def curated_policies(catalog: Catalog, template: str) -> PolicyCatalog:
+    """The curated expression set for ``template`` ∈ {T, C, CR, CR+A}."""
+    policies = PolicyCatalog(catalog)
+    for text in CURATED_SETS[template]:
+        policies.add_text(text)
+    return policies
+
+
+# ---------------------------------------------------------------------------
+# Template-driven generator
+# ---------------------------------------------------------------------------
+
+#: Per-table attribute properties: the generator's "property file" (§7.1).
+#: aggregatable columns are numeric measures; groupable columns are keys or
+#: low-cardinality attributes; each range entry is a ready-made condition.
+TABLE_PROPERTIES: dict[str, dict[str, list[str]]] = {
+    "customer": {
+        "aggregatable": ["c_acctbal"],
+        "groupable": ["c_nationkey", "c_mktsegment", "c_custkey"],
+        "conditions": [
+            "c_mktsegment = 'BUILDING'",
+            "c_mktsegment = 'AUTOMOBILE'",
+            "c_acctbal > 0",
+            "c_nationkey < 10",
+        ],
+    },
+    "orders": {
+        "aggregatable": ["o_totalprice"],
+        "groupable": ["o_custkey", "o_orderdate", "o_orderkey"],
+        "conditions": [
+            "o_orderdate >= DATE '1994-01-01'",
+            "o_orderdate < DATE '1995-01-01'",
+            "o_totalprice > 50000",
+            "o_orderstatus = 'F'",
+        ],
+    },
+    "lineitem": {
+        "aggregatable": ["l_quantity", "l_extendedprice", "l_discount"],
+        "groupable": ["l_orderkey", "l_suppkey", "l_partkey"],
+        "conditions": [
+            "l_shipdate > DATE '1995-03-15'",
+            "l_returnflag = 'R'",
+            "l_quantity < 25",
+            "l_discount <= 0.05",
+        ],
+    },
+    "supplier": {
+        "aggregatable": ["s_acctbal"],
+        "groupable": ["s_nationkey", "s_suppkey"],
+        "conditions": ["s_acctbal > 0", "s_nationkey < 10"],
+    },
+    "partsupp": {
+        "aggregatable": ["ps_supplycost", "ps_availqty"],
+        "groupable": ["ps_partkey", "ps_suppkey"],
+        "conditions": ["ps_availqty > 100", "ps_supplycost < 500"],
+    },
+    "part": {
+        "aggregatable": ["p_retailprice", "p_size"],
+        "groupable": ["p_brand", "p_mfgr", "p_partkey"],
+        "conditions": [
+            "p_size > 40 OR p_type LIKE '%COPPER%'",
+            "p_size = 15",
+            "p_retailprice < 1500",
+        ],
+    },
+    "nation": {
+        "aggregatable": [],
+        "groupable": ["n_nationkey", "n_regionkey"],
+        "conditions": ["n_regionkey < 3"],
+    },
+    "region": {
+        "aggregatable": [],
+        "groupable": ["r_regionkey"],
+        "conditions": ["r_name = 'EUROPE'"],
+    },
+}
+
+_SCHEMAS = {schema.name: schema for schema in ALL_TABLES}
+
+
+class PolicyGenerator:
+    """Instantiates policy-expression templates (T / C / CR / CR+A)."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        seed: int = 7,
+        locations: tuple[str, ...] = LOCATIONS,
+        hub: str | None = "NorthAmerica",
+    ) -> None:
+        self.catalog = catalog
+        self.rng = random.Random(seed)
+        self.locations = locations
+        self.hub = hub
+
+    # -- public API --------------------------------------------------------------
+
+    def generate(self, template: str, count: int) -> PolicyCatalog:
+        """Generate ``count`` expressions of ``template``; with a hub
+        configured, coverage expressions guaranteeing query feasibility are
+        included in the count."""
+        policies = PolicyCatalog(self.catalog)
+        for text in self.expression_texts(template, count):
+            policies.add_text(text)
+        return policies
+
+    def expression_texts(self, template: str, count: int) -> list[str]:
+        texts: list[str] = []
+        if self.hub is not None:
+            texts.extend(self._hub_coverage())
+        while len(texts) < count:
+            texts.append(self._expression(template))
+        return texts[:max(count, len(texts))]
+
+    # -- internals -----------------------------------------------------------------
+
+    def _hub_coverage(self) -> list[str]:
+        """One unconditional full-table expression per table, to the hub."""
+        return [
+            f"ship * from {table} to {self.hub}"
+            for table in sorted(_SCHEMAS)
+        ]
+
+    def _random_table(self) -> str:
+        return self.rng.choice(sorted(_SCHEMAS))
+
+    def _random_destinations(self) -> str:
+        if self.rng.random() < 0.15:
+            return "*"
+        k = self.rng.randint(1, max(1, len(self.locations) - 1))
+        return ", ".join(sorted(self.rng.sample(list(self.locations), k)))
+
+    def _random_columns(self, table: str) -> list[str]:
+        columns = list(_SCHEMAS[table].column_names)
+        k = self.rng.randint(max(1, len(columns) // 3), len(columns))
+        return sorted(self.rng.sample(columns, k))
+
+    def _expression(self, template: str) -> str:
+        table = self._random_table()
+        destinations = self._random_destinations()
+        if template == "T":
+            return f"ship * from {table} to {destinations}"
+        columns = self._random_columns(table)
+        text = f"ship {', '.join(columns)} from {table} to {destinations}"
+        if template == "C":
+            return text
+        properties = TABLE_PROPERTIES[table]
+        condition = self.rng.choice(properties["conditions"])
+        if template == "CR":
+            return f"{text} where {condition}"
+        # CR+A: half aggregate expressions, half CR expressions.
+        aggregatable = properties["aggregatable"]
+        if not aggregatable or self.rng.random() < 0.5:
+            return f"{text} where {condition}"
+        k = self.rng.randint(1, len(aggregatable))
+        attrs = sorted(self.rng.sample(aggregatable, k))
+        functions = sorted(
+            self.rng.sample(["sum", "avg", "min", "max"], self.rng.randint(1, 2))
+        )
+        group_cols = sorted(
+            self.rng.sample(
+                properties["groupable"],
+                self.rng.randint(1, len(properties["groupable"])),
+            )
+        )
+        expression = (
+            f"ship {', '.join(attrs)} as aggregates {', '.join(functions)} "
+            f"from {table} to {destinations} group by {', '.join(group_cols)}"
+        )
+        if self.rng.random() < 0.5:
+            expression += f" where {self.rng.choice(properties['conditions'])}"
+        return expression
+
+
+def locations_sweep_policies(
+    catalog: Catalog, n_locations: int, extra_location_prefix: str = "X"
+) -> tuple[Catalog, PolicyCatalog]:
+    """Policies for the Fig. 8 experiment: eight ``ship * from t to l1..ln``
+    expressions where the destination list has ``n_locations`` entries.
+
+    Locations beyond the five real ones are synthesized (each backed by an
+    empty database so the catalog knows them).
+    """
+    from .distribution import build_catalog
+
+    catalog = build_catalog()  # fresh catalog so synthetic locations are local
+    for i in range(max(0, n_locations - len(LOCATIONS))):
+        catalog.add_database(f"dbx{i}", f"{extra_location_prefix}{i}")
+    all_locations = catalog.locations[:n_locations]
+    destination_list = ", ".join(all_locations)
+    policies = PolicyCatalog(catalog)
+    for table in sorted(_SCHEMAS):
+        policies.add_text(f"ship * from {table} to {destination_list}")
+    return catalog, policies

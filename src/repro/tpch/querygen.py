@@ -1,0 +1,180 @@
+"""Ad-hoc query generator (paper §7.1).
+
+"Our query generator creates an ad-hoc query by randomly selecting a
+table and joining in additional tables using the PK-FK relationship.  It
+chooses joining tables in a way that they span over two or more
+locations.  It then randomly selects output columns and generates query
+predicates.  For aggregation queries, it randomly chooses grouping as
+well as aggregation attributes."  Distribution: 55% of queries reference
+two tables, 35% three, 10% four; about 30% aggregate; four output columns
+and 3–4 non-join predicates on average.
+
+Predicates are drawn from the same per-table condition pool the policy
+generator uses, so the implication test has realistic pass/fail rates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .distribution import TABLE_PLACEMENT, home_database
+from .policygen import TABLE_PROPERTIES
+from .schema import ALL_TABLES
+
+_SCHEMAS = {schema.name: schema for schema in ALL_TABLES}
+
+#: Undirected PK-FK join graph: (table_a, col_a, table_b, col_b).
+JOIN_EDGES = [
+    ("nation", "n_regionkey", "region", "r_regionkey"),
+    ("supplier", "s_nationkey", "nation", "n_nationkey"),
+    ("customer", "c_nationkey", "nation", "n_nationkey"),
+    ("partsupp", "ps_partkey", "part", "p_partkey"),
+    ("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+    ("orders", "o_custkey", "customer", "c_custkey"),
+    ("lineitem", "l_orderkey", "orders", "o_orderkey"),
+    ("lineitem", "l_partkey", "part", "p_partkey"),
+    ("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+]
+
+
+def _location_of(table: str) -> str:
+    db = home_database(table)
+    return TABLE_PLACEMENT[db][0]
+
+
+def _neighbors(table: str) -> list[tuple[str, str, str]]:
+    """(other_table, this_col, other_col) for every FK edge at ``table``."""
+    out = []
+    for a, ca, b, cb in JOIN_EDGES:
+        if a == table:
+            out.append((b, ca, cb))
+        elif b == table:
+            out.append((a, cb, ca))
+    return out
+
+
+@dataclass
+class GeneratedQuery:
+    sql: str
+    tables: tuple[str, ...]
+    is_aggregate: bool
+    locations: frozenset[str]
+
+
+class AdHocQueryGenerator:
+    """Generates the paper's 400-query ad-hoc workload."""
+
+    def __init__(self, seed: int = 42) -> None:
+        self.rng = random.Random(seed)
+
+    def generate(self, count: int) -> list[GeneratedQuery]:
+        return [self.one() for _ in range(count)]
+
+    def one(self) -> GeneratedQuery:
+        rng = self.rng
+        n_tables = rng.choices([2, 3, 4], weights=[55, 35, 10])[0]
+        tables, join_conjuncts = self._join_subgraph(n_tables)
+        is_aggregate = rng.random() < 0.30
+
+        predicates = self._predicates(tables)
+        where = " AND ".join(join_conjuncts + predicates)
+
+        if is_aggregate:
+            select, group_by = self._aggregate_outputs(tables)
+            sql = f"SELECT {select} FROM {', '.join(tables)} WHERE {where}"
+            if group_by:
+                sql += f" GROUP BY {', '.join(group_by)}"
+        else:
+            select = ", ".join(self._output_columns(tables))
+            sql = f"SELECT {select} FROM {', '.join(tables)} WHERE {where}"
+
+        locations = frozenset(_location_of(t) for t in tables)
+        return GeneratedQuery(
+            sql=sql,
+            tables=tuple(tables),
+            is_aggregate=is_aggregate,
+            locations=locations,
+        )
+
+    # -- pieces ----------------------------------------------------------------
+
+    def _join_subgraph(self, n_tables: int) -> tuple[list[str], list[str]]:
+        """Random connected FK subgraph spanning ≥2 locations."""
+        rng = self.rng
+        for _attempt in range(200):
+            start = rng.choice(sorted(_SCHEMAS))
+            tables = [start]
+            conjuncts: list[str] = []
+            while len(tables) < n_tables:
+                frontier = [
+                    (t, other, col, ocol)
+                    for t in tables
+                    for other, col, ocol in _neighbors(t)
+                    if other not in tables
+                ]
+                if not frontier:
+                    break
+                t, other, col, ocol = rng.choice(frontier)
+                tables.append(other)
+                conjuncts.append(f"{t}.{col} = {other}.{ocol}")
+            if len(tables) != n_tables:
+                continue
+            if len({_location_of(t) for t in tables}) >= 2:
+                return tables, conjuncts
+        raise RuntimeError("could not generate a multi-location join subgraph")
+
+    def _output_columns(self, tables: list[str], target: int = 4) -> list[str]:
+        rng = self.rng
+        pool = [
+            f"{t}.{col}"
+            for t in tables
+            for col in _SCHEMAS[t].column_names
+            if not col.endswith("comment")
+        ]
+        k = min(len(pool), max(2, int(rng.gauss(target, 1))))
+        return sorted(rng.sample(pool, k))
+
+    def _predicates(self, tables: list[str]) -> list[str]:
+        rng = self.rng
+        pool = []
+        for t in tables:
+            for condition in TABLE_PROPERTIES[t]["conditions"]:
+                pool.append(_qualify(condition, t))
+        k = min(len(pool), rng.choice([3, 3, 4, 4]))
+        return rng.sample(pool, k) if pool else []
+
+    def _aggregate_outputs(self, tables: list[str]) -> tuple[str, list[str]]:
+        rng = self.rng
+        agg_pool = [
+            (t, col)
+            for t in tables
+            for col in TABLE_PROPERTIES[t]["aggregatable"]
+        ]
+        group_pool = [
+            (t, col)
+            for t in tables
+            for col in TABLE_PROPERTIES[t]["groupable"]
+        ]
+        items: list[str] = []
+        group_by: list[str] = []
+        if group_pool and rng.random() < 0.9:
+            for t, col in rng.sample(group_pool, min(len(group_pool), rng.randint(1, 2))):
+                group_by.append(f"{t}.{col}")
+                items.append(f"{t}.{col}")
+        if agg_pool:
+            for t, col in rng.sample(agg_pool, min(len(agg_pool), rng.randint(1, 2))):
+                func = rng.choice(["SUM", "AVG", "MIN", "MAX", "COUNT"])
+                items.append(f"{func}({t}.{col}) AS {func.lower()}_{col}")
+        else:
+            items.append("COUNT(*) AS cnt")
+        return ", ".join(items), group_by
+
+
+def _qualify(condition: str, table: str) -> str:
+    """Qualify bare column names in a pooled condition with the table name
+    (the generator uses table names as aliases)."""
+    out = condition
+    for col in _SCHEMAS[table].column_names:
+        out = out.replace(col, f"{table}.{col}")
+    return out

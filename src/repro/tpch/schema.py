@@ -1,0 +1,164 @@
+"""The TPC-H schema (all eight tables, standard columns and keys)."""
+
+from __future__ import annotations
+
+from ..catalog import Column, ForeignKey, TableSchema
+from ..datatypes import DataType
+
+I = DataType.INTEGER
+D = DataType.DECIMAL
+V = DataType.VARCHAR
+DT = DataType.DATE
+
+
+REGION = TableSchema(
+    "region",
+    (
+        Column("r_regionkey", I),
+        Column("r_name", V, width_bytes=12),
+        Column("r_comment", V, width_bytes=60),
+    ),
+    primary_key=("r_regionkey",),
+)
+
+NATION = TableSchema(
+    "nation",
+    (
+        Column("n_nationkey", I),
+        Column("n_name", V, width_bytes=16),
+        Column("n_regionkey", I),
+        Column("n_comment", V, width_bytes=60),
+    ),
+    primary_key=("n_nationkey",),
+    foreign_keys=(ForeignKey(("n_regionkey",), "region", ("r_regionkey",)),),
+)
+
+SUPPLIER = TableSchema(
+    "supplier",
+    (
+        Column("s_suppkey", I),
+        Column("s_name", V, width_bytes=18),
+        Column("s_address", V, width_bytes=25),
+        Column("s_nationkey", I),
+        Column("s_phone", V, width_bytes=15),
+        Column("s_acctbal", D),
+        Column("s_comment", V, width_bytes=60),
+    ),
+    primary_key=("s_suppkey",),
+    foreign_keys=(ForeignKey(("s_nationkey",), "nation", ("n_nationkey",)),),
+)
+
+CUSTOMER = TableSchema(
+    "customer",
+    (
+        Column("c_custkey", I),
+        Column("c_name", V, width_bytes=18),
+        Column("c_address", V, width_bytes=25),
+        Column("c_nationkey", I),
+        Column("c_phone", V, width_bytes=15),
+        Column("c_acctbal", D),
+        Column("c_mktsegment", V, width_bytes=10),
+        Column("c_comment", V, width_bytes=60),
+    ),
+    primary_key=("c_custkey",),
+    foreign_keys=(ForeignKey(("c_nationkey",), "nation", ("n_nationkey",)),),
+)
+
+PART = TableSchema(
+    "part",
+    (
+        Column("p_partkey", I),
+        Column("p_name", V, width_bytes=35),
+        Column("p_mfgr", V, width_bytes=25),
+        Column("p_brand", V, width_bytes=10),
+        Column("p_type", V, width_bytes=25),
+        Column("p_size", I),
+        Column("p_container", V, width_bytes=10),
+        Column("p_retailprice", D),
+        Column("p_comment", V, width_bytes=20),
+    ),
+    primary_key=("p_partkey",),
+)
+
+PARTSUPP = TableSchema(
+    "partsupp",
+    (
+        Column("ps_partkey", I),
+        Column("ps_suppkey", I),
+        Column("ps_availqty", I),
+        Column("ps_supplycost", D),
+        Column("ps_comment", V, width_bytes=60),
+    ),
+    primary_key=("ps_partkey", "ps_suppkey"),
+    foreign_keys=(
+        ForeignKey(("ps_partkey",), "part", ("p_partkey",)),
+        ForeignKey(("ps_suppkey",), "supplier", ("s_suppkey",)),
+    ),
+)
+
+ORDERS = TableSchema(
+    "orders",
+    (
+        Column("o_orderkey", I),
+        Column("o_custkey", I),
+        Column("o_orderstatus", V, width_bytes=1),
+        Column("o_totalprice", D),
+        Column("o_orderdate", DT),
+        Column("o_orderpriority", V, width_bytes=15),
+        Column("o_clerk", V, width_bytes=15),
+        Column("o_shippriority", I),
+        Column("o_comment", V, width_bytes=40),
+    ),
+    primary_key=("o_orderkey",),
+    foreign_keys=(ForeignKey(("o_custkey",), "customer", ("c_custkey",)),),
+)
+
+LINEITEM = TableSchema(
+    "lineitem",
+    (
+        Column("l_orderkey", I),
+        Column("l_partkey", I),
+        Column("l_suppkey", I),
+        Column("l_linenumber", I),
+        Column("l_quantity", D),
+        Column("l_extendedprice", D),
+        Column("l_discount", D),
+        Column("l_tax", D),
+        Column("l_returnflag", V, width_bytes=1),
+        Column("l_linestatus", V, width_bytes=1),
+        Column("l_shipdate", DT),
+        Column("l_commitdate", DT),
+        Column("l_receiptdate", DT),
+        Column("l_shipinstruct", V, width_bytes=25),
+        Column("l_shipmode", V, width_bytes=10),
+        Column("l_comment", V, width_bytes=25),
+    ),
+    primary_key=("l_orderkey", "l_linenumber"),
+    foreign_keys=(
+        ForeignKey(("l_orderkey",), "orders", ("o_orderkey",)),
+        ForeignKey(("l_partkey", "l_suppkey"), "partsupp", ("ps_partkey", "ps_suppkey")),
+        ForeignKey(("l_partkey",), "part", ("p_partkey",)),
+        ForeignKey(("l_suppkey",), "supplier", ("s_suppkey",)),
+    ),
+)
+
+ALL_TABLES = (REGION, NATION, SUPPLIER, CUSTOMER, PART, PARTSUPP, ORDERS, LINEITEM)
+
+#: Base row counts at scale factor 1.0 (TPC-H specification).
+BASE_ROW_COUNTS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+
+def row_count(table: str, scale: float) -> int:
+    base = BASE_ROW_COUNTS[table]
+    if table in ("region", "nation"):
+        return base  # fixed-size tables
+    return max(1, int(base * scale))

@@ -1,0 +1,142 @@
+"""Catalog, schema, and statistics tests."""
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    Column,
+    ForeignKey,
+    TableSchema,
+    stats_from_rows,
+    uniform_stats,
+)
+from repro.datatypes import DataType
+from repro.errors import CatalogError
+
+
+def simple_schema(name="t"):
+    return TableSchema(
+        name,
+        (
+            Column("a", DataType.INTEGER),
+            Column("b", DataType.VARCHAR, width_bytes=10),
+        ),
+        primary_key=("a",),
+    )
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", (Column("a", DataType.INTEGER), Column("a", DataType.INTEGER)))
+
+    def test_pk_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", (Column("a", DataType.INTEGER),), primary_key=("z",))
+
+    def test_fk_columns_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableSchema(
+                "t",
+                (Column("a", DataType.INTEGER),),
+                foreign_keys=(ForeignKey(("z",), "u", ("a",)),),
+            )
+
+    def test_row_width_uses_overrides_and_defaults(self):
+        schema = simple_schema()
+        assert schema.row_width == 8 + 10
+
+    def test_column_lookup(self):
+        schema = simple_schema()
+        assert schema.column("b").dtype == DataType.VARCHAR
+        assert schema.column_index("b") == 1
+        with pytest.raises(CatalogError):
+            schema.column("zz")
+
+
+class TestCatalog:
+    def test_database_and_table_registration(self):
+        c = Catalog()
+        c.add_database("db1", "L1")
+        table = c.add_table("db1", simple_schema(), row_count=50)
+        assert table.fragments[0].location == "L1"
+        assert c.table("T").name == "t"  # case-insensitive lookup
+        assert c.locations == ["L1"]
+
+    def test_duplicate_database_rejected(self):
+        c = Catalog()
+        c.add_database("db1", "L1")
+        with pytest.raises(CatalogError):
+            c.add_database("db1", "L2")
+
+    def test_duplicate_table_rejected(self):
+        c = Catalog()
+        c.add_database("db1", "L1")
+        c.add_table("db1", simple_schema())
+        with pytest.raises(CatalogError):
+            c.add_table("db1", simple_schema())
+
+    def test_unknown_lookups_raise(self):
+        c = Catalog()
+        with pytest.raises(CatalogError):
+            c.database("nope")
+        with pytest.raises(CatalogError):
+            c.table("nope")
+
+    def test_fragmented_table(self):
+        c = Catalog()
+        c.add_database("db1", "L1")
+        c.add_database("db2", "L2")
+        schema = simple_schema("f")
+        table = c.add_fragmented_table(
+            schema,
+            [("db1", uniform_stats(schema, 10)), ("db2", uniform_stats(schema, 30))],
+        )
+        assert table.is_fragmented
+        assert table.total_rows == 40
+        assert c.stored_table("db2", "f").stats.row_count == 30
+        with pytest.raises(CatalogError):
+            c.stored_table("db3", "f")
+
+    def test_empty_fragments_rejected(self):
+        c = Catalog()
+        with pytest.raises(CatalogError):
+            c.add_fragmented_table(simple_schema("f"), [])
+
+    def test_locations_deduplicated_in_order(self):
+        c = Catalog()
+        c.add_database("db1", "L1")
+        c.add_database("db2", "L2")
+        c.add_database("db3", "L1")
+        assert c.locations == ["L1", "L2"]
+
+
+class TestStatistics:
+    def test_stats_from_rows(self):
+        schema = simple_schema()
+        rows = [(1, "x"), (2, "x"), (3, None), (3, "y")]
+        stats = stats_from_rows(schema, rows)
+        assert stats.row_count == 4
+        assert stats.columns["a"].distinct_count == 3
+        assert stats.columns["a"].min_value == 1
+        assert stats.columns["a"].max_value == 3
+        assert stats.columns["b"].null_fraction == pytest.approx(0.25)
+
+    def test_stats_from_empty_rows(self):
+        stats = stats_from_rows(simple_schema(), [])
+        assert stats.row_count == 0
+        assert stats.columns["a"].distinct_count == 1  # floor of 1
+
+    def test_uniform_stats_pk_gets_row_count(self):
+        stats = uniform_stats(simple_schema(), 1000)
+        assert stats.columns["a"].distinct_count == 1000
+        assert stats.columns["b"].distinct_count == 100
+
+    def test_uniform_stats_overrides(self):
+        stats = uniform_stats(simple_schema(), 1000, {"b": 5})
+        assert stats.columns["b"].distinct_count == 5
+
+    def test_unknown_column_stats_default(self):
+        stats = uniform_stats(simple_schema(), 1000)
+        fallback = stats.column("zzz")
+        assert fallback.distinct_count >= 1

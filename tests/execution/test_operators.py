@@ -1,0 +1,178 @@
+"""Per-operator executor tests over a tiny hand-built world."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, TableSchema
+from repro.datatypes import DataType
+from repro.errors import ComplianceViolationError
+from repro.execution import ExecutionEngine, actual_bytes, reference_plan
+from repro.geo import GeoDatabase, synthetic_network
+from repro.policy import PolicyCatalog, PolicyEvaluator
+from repro.plan import Ship
+from repro.sql import Binder
+
+
+@pytest.fixture(scope="module")
+def world():
+    c = Catalog()
+    c.add_database("db1", "L1")
+    c.add_database("db2", "L2")
+    c.add_table(
+        "db1",
+        TableSchema(
+            "emp",
+            (
+                Column("id", DataType.INTEGER),
+                Column("dept", DataType.VARCHAR),
+                Column("salary", DataType.DECIMAL),
+            ),
+            primary_key=("id",),
+        ),
+    )
+    c.add_table(
+        "db2",
+        TableSchema(
+            "dept",
+            (Column("name", DataType.VARCHAR), Column("budget", DataType.INTEGER)),
+        ),
+    )
+    db = GeoDatabase(c)
+    db.load(
+        "db1",
+        "emp",
+        [
+            (1, "eng", 100.0),
+            (2, "eng", 200.0),
+            (3, "sales", 150.0),
+            (4, "sales", None),
+            (5, None, 50.0),
+        ],
+    )
+    db.load("db2", "dept", [("eng", 10), ("sales", 20), ("hr", 30)])
+    engine = ExecutionEngine(db, synthetic_network(["L1", "L2"]))
+    return c, engine
+
+
+def run(world, sql):
+    catalog, engine = world
+    plan = Binder(catalog).bind_sql(sql)
+    return engine.execute(reference_plan(plan))
+
+
+def test_scan_and_project(world):
+    result = run(world, "SELECT id FROM emp")
+    assert sorted(r[0] for r in result.rows) == [1, 2, 3, 4, 5]
+    assert result.columns == ["id"]
+
+
+def test_filter_with_null_predicate(world):
+    result = run(world, "SELECT id FROM emp WHERE salary > 100")
+    assert sorted(r[0] for r in result.rows) == [2, 3]  # NULL salary excluded
+
+
+def test_hash_join_inner_semantics(world):
+    result = run(
+        world,
+        "SELECT emp.id, dept.budget FROM emp, dept WHERE emp.dept = dept.name",
+    )
+    assert sorted(result.rows) == [(1, 10), (2, 10), (3, 20), (4, 20)]
+
+
+def test_join_null_keys_never_match(world):
+    result = run(
+        world,
+        "SELECT emp.id FROM emp, dept WHERE emp.dept = dept.name",
+    )
+    assert 5 not in {r[0] for r in result.rows}
+
+
+def test_nested_loop_join_theta(world):
+    result = run(
+        world,
+        "SELECT emp.id, dept.name FROM emp, dept WHERE emp.salary > dept.budget",
+    )
+    # every non-null salary exceeds every budget in this data
+    assert len(result.rows) == 4 * 3
+
+
+def test_aggregate_functions_and_nulls(world):
+    result = run(
+        world,
+        "SELECT dept, COUNT(*) AS n, COUNT(salary) AS ns, SUM(salary) AS s, "
+        "AVG(salary) AS a, MIN(salary) AS lo, MAX(salary) AS hi "
+        "FROM emp GROUP BY dept",
+    )
+    by_dept = {r[0]: r[1:] for r in result.rows}
+    assert by_dept["eng"] == (2, 2, 300.0, 150.0, 100.0, 200.0)
+    assert by_dept["sales"] == (2, 1, 150.0, 150.0, 150.0, 150.0)
+    assert None in by_dept  # NULL is a valid group
+
+
+def test_global_aggregate_on_empty_input(world):
+    result = run(world, "SELECT COUNT(*) AS n, SUM(salary) AS s FROM emp WHERE id > 99")
+    assert result.rows == [(0, None)]
+
+
+def test_group_aggregate_on_empty_input_yields_no_rows(world):
+    result = run(world, "SELECT dept, COUNT(*) FROM emp WHERE id > 99 GROUP BY dept")
+    assert result.rows == []
+
+
+def test_sort_order_and_limit(world):
+    result = run(world, "SELECT id, salary FROM emp ORDER BY salary DESC LIMIT 2")
+    assert [r[0] for r in result.rows] == [2, 3]
+
+
+def test_sort_multiple_keys(world):
+    result = run(world, "SELECT dept, id FROM emp ORDER BY dept, id DESC")
+    non_null = [r for r in result.rows if r[0] is not None]
+    assert non_null == [("eng", 2), ("eng", 1), ("sales", 4), ("sales", 3)]
+
+
+def test_ship_records_metrics(world):
+    catalog, engine = world
+    plan = Binder(catalog).bind_sql("SELECT id FROM emp")
+    physical = reference_plan(plan, "L1")
+    shipped = Ship(
+        fields=physical.fields, location="L2", child=physical,
+        source="L1", target="L2",
+    )
+    result = engine.execute(shipped)
+    assert len(result.metrics.ships) == 1
+    record = result.metrics.ships[0]
+    assert record.rows == 5
+    assert record.bytes == 5 * 8
+    assert record.seconds > 0
+    assert result.simulated_cost == record.seconds
+
+
+def test_actual_bytes_by_type():
+    import datetime
+
+    rows = [(1, 1.5, "abc", datetime.date(2020, 1, 1), None, True)]
+    assert actual_bytes(rows) == 8 + 8 + 3 + 4 + 1 + 1
+
+
+def test_policy_guard_refuses_noncompliant(world):
+    catalog, engine = world
+    policies = PolicyCatalog(catalog)  # nothing may ship anywhere
+    guarded = ExecutionEngine(
+        engine.database, engine.network, policy_guard=PolicyEvaluator(policies)
+    )
+    plan = Binder(catalog).bind_sql("SELECT id FROM emp")
+    physical = reference_plan(plan, "L1")
+    shipped = Ship(
+        fields=physical.fields, location="L2", child=physical,
+        source="L1", target="L2",
+    )
+    with pytest.raises(ComplianceViolationError):
+        guarded.execute(shipped)
+    # Without the offending ship the guard lets it run.
+    assert guarded.execute(physical).row_count == 5
+
+
+def test_metrics_row_counts(world):
+    result = run(world, "SELECT id FROM emp WHERE salary > 100")
+    assert result.metrics.rows_scanned == 5
+    assert result.metrics.rows_output == 2
+    assert result.metrics.operators_executed >= 2

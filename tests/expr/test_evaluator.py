@@ -1,0 +1,146 @@
+"""Tests of compiled row-level expression evaluation (incl. NULL rules)."""
+
+import datetime
+
+import pytest
+
+from repro.datatypes import DataType
+from repro.errors import ExecutionError
+from repro.expr import (
+    AggregateCall,
+    AggregateFunction,
+    And,
+    Arithmetic,
+    ArithmeticOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
+    Or,
+    compile_expression,
+    compile_predicate,
+    like_to_regex,
+)
+
+SCHEMA = ["a", "b", "s", "d"]
+A = ColumnRef("a", DataType.INTEGER)
+B = ColumnRef("b", DataType.INTEGER)
+S = ColumnRef("s", DataType.VARCHAR)
+D = ColumnRef("d", DataType.DATE)
+
+
+def run(expr, row):
+    return compile_expression(expr, SCHEMA)(row)
+
+
+def test_column_and_literal():
+    assert run(A, (7, 8, "x", None)) == 7
+    assert run(Literal("hi", DataType.VARCHAR), (0, 0, "", None)) == "hi"
+
+
+def test_unknown_column_raises():
+    with pytest.raises(ExecutionError):
+        compile_expression(ColumnRef("nope", DataType.INTEGER), SCHEMA)
+
+
+def test_comparisons():
+    expr = Comparison(ComparisonOp.LE, A, B)
+    assert run(expr, (1, 2, "", None)) is True
+    assert run(expr, (3, 2, "", None)) is False
+
+
+def test_comparison_with_null_is_null():
+    expr = Comparison(ComparisonOp.EQ, A, B)
+    assert run(expr, (None, 2, "", None)) is None
+
+
+def test_arithmetic_and_negate():
+    expr = Negate(Arithmetic(ArithmeticOp.SUB, A, B))
+    assert run(expr, (3, 10, "", None)) == 7
+
+
+def test_division_by_zero_raises():
+    expr = Arithmetic(ArithmeticOp.DIV, A, B)
+    with pytest.raises(ExecutionError):
+        run(expr, (1, 0, "", None))
+
+
+def test_arithmetic_null_propagates():
+    expr = Arithmetic(ArithmeticOp.ADD, A, B)
+    assert run(expr, (None, 1, "", None)) is None
+
+
+def test_and_three_valued_logic():
+    t = Literal(True, DataType.BOOLEAN)
+    f = Literal(False, DataType.BOOLEAN)
+    null_cmp = Comparison(ComparisonOp.EQ, A, B)  # a is None -> NULL
+    row = (None, 1, "", None)
+    assert run(And((t, f)), row) is False
+    assert run(And((t, null_cmp)), row) is None
+    assert run(And((f, null_cmp)), row) is False  # FALSE dominates NULL
+    assert run(Or((f, null_cmp)), row) is None
+    assert run(Or((t, null_cmp)), row) is True  # TRUE dominates NULL
+    assert run(Not(null_cmp), row) is None
+
+
+def test_like_semantics():
+    assert run(Like(S, "ab%"), (0, 0, "abc", None)) is True
+    assert run(Like(S, "ab%"), (0, 0, "xabc", None)) is False
+    assert run(Like(S, "a_c"), (0, 0, "abc", None)) is True
+    assert run(Like(S, "a_c"), (0, 0, "abbc", None)) is False
+    assert run(Like(S, "%c", negated=True), (0, 0, "abc", None)) is False
+    assert run(Like(S, "ab%"), (0, 0, None, None)) is None
+
+
+def test_like_regex_escapes_metacharacters():
+    regex = like_to_regex("a.c%")
+    assert regex.match("a.cxx")
+    assert not regex.match("abcxx")
+
+
+def test_in_list():
+    expr = InList(A, (Literal(1, DataType.INTEGER), Literal(3, DataType.INTEGER)))
+    assert run(expr, (3, 0, "", None)) is True
+    assert run(expr, (2, 0, "", None)) is False
+    assert run(InList(A, (Literal(1, DataType.INTEGER),), negated=True), (2, 0, "", None)) is True
+    assert run(expr, (None, 0, "", None)) is None
+
+
+def test_is_null():
+    assert run(IsNull(A), (None, 0, "", None)) is True
+    assert run(IsNull(A), (5, 0, "", None)) is False
+    assert run(IsNull(A, negated=True), (5, 0, "", None)) is True
+
+
+def test_scalar_functions():
+    date = datetime.date(1995, 3, 14)
+    assert run(FunctionCall("YEAR", (D,)), (0, 0, "", date)) == 1995
+    assert run(FunctionCall("UPPER", (S,)), (0, 0, "abc", None)) == "ABC"
+    assert run(FunctionCall("LOWER", (S,)), (0, 0, "ABC", None)) == "abc"
+    assert run(FunctionCall("ABS", (A,)), (-4, 0, "", None)) == 4
+    sub = FunctionCall(
+        "SUBSTRING", (S, Literal(2, DataType.INTEGER), Literal(2, DataType.INTEGER))
+    )
+    assert run(sub, (0, 0, "abcdef", None)) == "bc"
+
+
+def test_unknown_function_raises():
+    with pytest.raises(ExecutionError):
+        compile_expression(FunctionCall("NOPE", (A,)), SCHEMA)
+
+
+def test_aggregate_outside_aggregate_operator_raises():
+    with pytest.raises(ExecutionError):
+        compile_expression(AggregateCall(AggregateFunction.SUM, A), SCHEMA)
+
+
+def test_compile_predicate_treats_null_as_false():
+    predicate = compile_predicate(Comparison(ComparisonOp.GT, A, B), SCHEMA)
+    assert predicate((None, 1, "", None)) is False
+    assert predicate((2, 1, "", None)) is True

@@ -1,0 +1,153 @@
+"""Implication test: example-based cases plus a hypothesis soundness
+property — whenever ``implies(p, q)`` claims True, exhaustive evaluation
+over a small domain must confirm p ⇒ q (the paper requires soundness;
+incompleteness is expected and explicitly tested)."""
+
+import datetime
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datatypes import DataType
+from repro.expr import (
+    And,
+    BaseColumn,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    compile_predicate,
+    implies,
+)
+
+A = ColumnRef("t.a", DataType.INTEGER, BaseColumn("db", "t", "a"))
+B = ColumnRef("t.b", DataType.INTEGER, BaseColumn("db", "t", "b"))
+S = ColumnRef("t.s", DataType.VARCHAR, BaseColumn("db", "t", "s"))
+
+
+def lit(v, dtype=DataType.INTEGER):
+    return Literal(v, dtype)
+
+
+def cmp(op, col, v, dtype=DataType.INTEGER):
+    return Comparison(op, col, lit(v, dtype))
+
+
+class TestExamples:
+    def test_tighter_range_implies_wider(self):
+        p = And((cmp(ComparisonOp.GT, A, 10), cmp(ComparisonOp.LT, A, 20)))
+        assert implies(p, cmp(ComparisonOp.GT, A, 5))
+        assert not implies(cmp(ComparisonOp.GT, A, 5), p)
+
+    def test_equality_implies_range_and_in(self):
+        p = cmp(ComparisonOp.EQ, A, 7)
+        assert implies(p, cmp(ComparisonOp.GE, A, 7))
+        assert implies(p, InList(A, (lit(5), lit(7))))
+        assert not implies(p, InList(A, (lit(5), lit(6))))
+
+    def test_in_subset(self):
+        p = InList(A, (lit(1), lit(2)))
+        q = InList(A, (lit(1), lit(2), lit(3)))
+        assert implies(p, q)
+        assert not implies(q, p)
+
+    def test_not_equal_entailment(self):
+        assert implies(cmp(ComparisonOp.EQ, A, 3), cmp(ComparisonOp.NE, A, 4))
+        assert implies(cmp(ComparisonOp.GT, A, 10), cmp(ComparisonOp.NE, A, 4))
+        assert not implies(cmp(ComparisonOp.GT, A, 2), cmp(ComparisonOp.NE, A, 4))
+
+    def test_like_syntactic_and_literal_match(self):
+        p = Like(S, "BUILD%")
+        assert implies(p, p)
+        eq = Comparison(ComparisonOp.EQ, S, lit("BUILDING", DataType.VARCHAR))
+        assert implies(eq, Like(S, "BUILD%"))
+        assert not implies(eq, Like(S, "AUTO%"))
+
+    def test_disjunctive_query_predicate(self):
+        p = Or((cmp(ComparisonOp.EQ, A, 1), cmp(ComparisonOp.EQ, A, 2)))
+        assert implies(p, cmp(ComparisonOp.LE, A, 2))
+        assert not implies(p, cmp(ComparisonOp.EQ, A, 1))
+
+    def test_none_policy_predicate_always_implied(self):
+        assert implies(None, None)
+        assert implies(cmp(ComparisonOp.EQ, A, 1), None)
+
+    def test_none_query_predicate_rarely_implies(self):
+        assert not implies(None, cmp(ComparisonOp.EQ, A, 1))
+
+    def test_opaque_join_atoms_match_by_provenance(self):
+        aliased = ColumnRef("x.a", DataType.INTEGER, BaseColumn("db", "t", "a"))
+        join1 = Comparison(ComparisonOp.EQ, A, B)
+        join2 = Comparison(ComparisonOp.EQ, B, aliased)
+        assert implies(join1, join2)
+
+    def test_documented_incompleteness(self):
+        # The paper's own example: A=5 AND B=3 does imply A+B=8, but the
+        # sound-but-incomplete test cannot prove it.
+        from repro.expr import Arithmetic, ArithmeticOp
+
+        p = And((cmp(ComparisonOp.EQ, A, 5), cmp(ComparisonOp.EQ, B, 3)))
+        q = Comparison(ComparisonOp.EQ, Arithmetic(ArithmeticOp.ADD, A, B), lit(8))
+        assert not implies(p, q)
+
+    def test_dates(self):
+        d = ColumnRef("t.d", DataType.DATE, BaseColumn("db", "t", "d"))
+        jan94 = Literal(datetime.date(1994, 1, 1), DataType.DATE)
+        jan95 = Literal(datetime.date(1995, 1, 1), DataType.DATE)
+        p = And(
+            (
+                Comparison(ComparisonOp.GE, d, jan94),
+                Comparison(ComparisonOp.LT, d, jan95),
+            )
+        )
+        assert implies(p, Comparison(ComparisonOp.GE, d, jan94))
+        assert not implies(Comparison(ComparisonOp.LT, d, jan95), p)
+
+
+# -- property-based soundness --------------------------------------------------
+
+_COLUMNS = [A, B]
+_VALUES = list(range(0, 6))
+
+
+def atoms():
+    col = st.sampled_from(_COLUMNS)
+    val = st.sampled_from(_VALUES)
+    op = st.sampled_from(list(ComparisonOp))
+    comparison = st.builds(lambda c, o, v: Comparison(o, c, lit(v)), col, op, val)
+    in_list = st.builds(
+        lambda c, vs: InList(c, tuple(lit(v) for v in sorted(vs))),
+        col,
+        st.sets(st.sampled_from(_VALUES), min_size=1, max_size=3),
+    )
+    return st.one_of(comparison, in_list)
+
+
+def predicates(depth=2):
+    if depth == 0:
+        return atoms()
+    sub = predicates(depth - 1)
+    return st.one_of(
+        atoms(),
+        st.builds(lambda a, b: And((a, b)), sub, sub),
+        st.builds(lambda a, b: Or((a, b)), sub, sub),
+        st.builds(Not, sub),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(p=predicates(), q=predicates())
+def test_implication_is_sound(p, q):
+    if not implies(p, q):
+        return
+    p_fn = compile_predicate(p, ["t.a", "t.b"])
+    q_fn = compile_predicate(q, ["t.a", "t.b"])
+    for a in _VALUES:
+        for b in _VALUES:
+            row = (a, b)
+            assert not (p_fn(row) and not q_fn(row)), (
+                f"claimed {p} => {q} but row {row} violates it"
+            )

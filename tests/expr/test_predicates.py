@@ -1,0 +1,136 @@
+"""Tests of DNF normalization and range machinery."""
+
+from repro.datatypes import DataType
+from repro.expr import (
+    And,
+    BaseColumn,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    TRUE,
+    FALSE,
+)
+from repro.expr.predicates import MAX_DISJUNCTS, Range, canonical_text, column_key, to_dnf
+
+A = ColumnRef("t.a", DataType.INTEGER, BaseColumn("db", "t", "a"))
+B = ColumnRef("t.b", DataType.INTEGER, BaseColumn("db", "t", "b"))
+
+
+def lit(v):
+    return Literal(v, DataType.INTEGER)
+
+
+def cmp(op, col, v):
+    return Comparison(op, col, lit(v))
+
+
+class TestRange:
+    def test_intersect_narrows(self):
+        r = Range(low=1).intersect(Range(high=5))
+        assert r == Range(low=1, high=5)
+
+    def test_intersect_inclusive_flags(self):
+        r = Range(low=3, low_inclusive=True).intersect(Range(low=3, low_inclusive=False))
+        assert r is not None and not r.low_inclusive
+
+    def test_empty_detection(self):
+        assert Range(low=5, high=3).is_empty()
+        assert Range(low=3, high=3, low_inclusive=False).is_empty()
+        assert not Range(low=3, high=3).is_empty()
+
+    def test_contains_value(self):
+        r = Range(low=1, high=5, high_inclusive=False)
+        assert r.contains_value(1)
+        assert not r.contains_value(5)
+        assert not r.contains_value(0)
+
+    def test_subset(self):
+        assert Range(low=2, high=4).is_subset_of(Range(low=1, high=5))
+        assert not Range(low=0, high=4).is_subset_of(Range(low=1, high=5))
+        assert Range(low=1, high=5).is_subset_of(Range())
+        assert not Range().is_subset_of(Range(low=1))
+
+    def test_exact_value(self):
+        assert Range.equal_to(7).exact_value() == 7
+        assert Range(low=1, high=2).exact_value() is None
+
+    def test_mixed_types_do_not_crash(self):
+        assert Range(low="x").intersect(Range(low=1)) is None
+
+
+class TestToDnf:
+    def test_true_and_none(self):
+        assert len(to_dnf(None)) == 1
+        assert len(to_dnf(TRUE)) == 1
+
+    def test_false_is_empty(self):
+        assert to_dnf(FALSE) == []
+
+    def test_simple_conjunction_one_disjunct(self):
+        dnf = to_dnf(And((cmp(ComparisonOp.GT, A, 1), cmp(ComparisonOp.LT, A, 9))))
+        assert len(dnf) == 1
+        key = column_key(A)
+        assert dnf[0].ranges[key] == Range(low=1, low_inclusive=False, high=9, high_inclusive=False)
+
+    def test_contradiction_pruned(self):
+        dnf = to_dnf(And((cmp(ComparisonOp.GT, A, 9), cmp(ComparisonOp.LT, A, 1))))
+        assert dnf == []
+
+    def test_disjunction_spreads(self):
+        dnf = to_dnf(Or((cmp(ComparisonOp.EQ, A, 1), cmp(ComparisonOp.EQ, A, 2))))
+        assert len(dnf) == 2
+
+    def test_negation_pushdown(self):
+        dnf = to_dnf(Not(cmp(ComparisonOp.GE, A, 5)))
+        assert len(dnf) == 1
+        assert dnf[0].ranges[column_key(A)] == Range(high=5, high_inclusive=False)
+
+    def test_not_in_becomes_not_equal(self):
+        dnf = to_dnf(InList(A, (lit(1), lit(2)), negated=True))
+        assert dnf[0].not_equal[column_key(A)] == {1, 2}
+
+    def test_in_set_intersection(self):
+        dnf = to_dnf(And((InList(A, (lit(1), lit(2))), InList(A, (lit(2), lit(3))))))
+        assert dnf[0].in_sets[column_key(A)] == frozenset([2])
+
+    def test_like_atoms_recorded(self):
+        dnf = to_dnf(Like(A, "x%"))
+        assert (column_key(A), "x%", False) in dnf[0].likes
+
+    def test_flipped_literal_side(self):
+        dnf = to_dnf(Comparison(ComparisonOp.GT, lit(5), A))  # 5 > a  ==  a < 5
+        assert dnf[0].ranges[column_key(A)] == Range(high=5, high_inclusive=False)
+
+    def test_opaque_atom_for_column_comparison(self):
+        dnf = to_dnf(Comparison(ComparisonOp.LT, A, B))
+        assert dnf[0].opaque
+
+    def test_blowup_gives_none(self):
+        # (a=1 or a=2) ^ n with n large enough to exceed MAX_DISJUNCTS.
+        disjunct = Or((cmp(ComparisonOp.EQ, A, 1), cmp(ComparisonOp.EQ, B, 2)))
+        big = And(tuple([disjunct] * 12))  # 2^12 > MAX_DISJUNCTS
+        assert 2**12 > MAX_DISJUNCTS
+        assert to_dnf(big) is None
+
+
+class TestCanonicalText:
+    def test_equality_sides_sorted(self):
+        one = Comparison(ComparisonOp.EQ, A, B)
+        other = Comparison(ComparisonOp.EQ, B, A)
+        assert canonical_text(one) == canonical_text(other)
+
+    def test_provenance_names_used(self):
+        aliased = ColumnRef("x.a", DataType.INTEGER, BaseColumn("db", "t", "a"))
+        assert canonical_text(Comparison(ComparisonOp.EQ, A, B)) == canonical_text(
+            Comparison(ComparisonOp.EQ, aliased, B)
+        )
+
+    def test_and_operand_order_irrelevant(self):
+        c1 = cmp(ComparisonOp.GT, A, 1)
+        c2 = cmp(ComparisonOp.LT, B, 9)
+        assert canonical_text(And((c1, c2))) == canonical_text(And((c2, c1)))

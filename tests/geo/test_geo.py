@@ -1,0 +1,91 @@
+"""Network model and geo-database tests."""
+
+import itertools
+
+import pytest
+
+from repro.catalog import Catalog, Column, TableSchema
+from repro.datatypes import DataType
+from repro.errors import CatalogError, ExecutionError
+from repro.geo import GeoDatabase, LinkCost, NetworkModel, synthetic_network
+
+
+class TestNetworkModel:
+    def test_local_transfer_is_free(self):
+        n = NetworkModel()
+        assert n.transfer_time("A", "A", 1_000_000) == 0.0
+
+    def test_explicit_link(self):
+        n = NetworkModel()
+        n.set_link("A", "B", alpha=0.1, beta=1e-6)
+        assert n.transfer_time("A", "B", 1_000_000) == pytest.approx(0.1 + 1.0)
+
+    def test_unknown_link_pessimistic_default(self):
+        n = NetworkModel()
+        assert n.transfer_time("A", "B", 0) > 0
+
+    def test_synthetic_is_symmetric(self):
+        n = synthetic_network(["A", "B", "C"])
+        for a, b in itertools.permutations(["A", "B", "C"], 2):
+            assert n.link(a, b) == n.link(b, a)
+
+    def test_synthetic_is_deterministic(self):
+        n1 = synthetic_network(["A", "B"])
+        n2 = synthetic_network(["A", "B"])
+        assert n1.link("A", "B") == n2.link("A", "B")
+
+    def test_synthetic_satisfies_triangle_inequality(self):
+        """Relaying through a third site must never be cheaper — otherwise
+        the site selector produces degenerate relay plans."""
+        locations = ["A", "B", "C", "D", "E", "F"]
+        n = synthetic_network(locations)
+        nbytes = 10_000_000
+        for a, b, c in itertools.permutations(locations, 3):
+            direct = n.transfer_time(a, c, nbytes)
+            relayed = n.transfer_time(a, b, nbytes) + n.transfer_time(b, c, nbytes)
+            assert direct <= relayed + 1e-9
+
+    def test_costs_grow_with_bytes(self):
+        n = synthetic_network(["A", "B"])
+        assert n.transfer_time("A", "B", 10) < n.transfer_time("A", "B", 10_000_000)
+
+
+class TestGeoDatabase:
+    @pytest.fixture()
+    def world(self):
+        c = Catalog()
+        c.add_database("db1", "L1")
+        c.add_table(
+            "db1",
+            TableSchema("t", (Column("a", DataType.INTEGER), Column("b", DataType.VARCHAR))),
+        )
+        return c, GeoDatabase(c)
+
+    def test_load_and_read(self, world):
+        catalog, db = world
+        db.load("db1", "t", [(1, "x"), (2, "y")])
+        assert db.rows("db1", "t") == [(1, "x"), (2, "y")]
+        assert db.row_count("db1", "t") == 2
+        assert db.has_data("db1", "t")
+
+    def test_load_updates_stats(self, world):
+        catalog, db = world
+        db.load("db1", "t", [(1, "x"), (2, "y"), (2, "y")])
+        assert catalog.stored_table("db1", "t").stats.row_count == 3
+        assert catalog.stored_table("db1", "t").stats.columns["a"].distinct_count == 2
+
+    def test_row_width_mismatch_rejected(self, world):
+        _, db = world
+        with pytest.raises(ExecutionError):
+            db.load("db1", "t", [(1,)])
+
+    def test_validation_catches_type_errors(self, world):
+        _, db = world
+        with pytest.raises(ExecutionError):
+            db.load("db1", "t", [("not-int", "x")], validate=True)
+        db.load("db1", "t", [(None, None)], validate=True)  # NULLs always ok
+
+    def test_missing_data_raises(self, world):
+        _, db = world
+        with pytest.raises(CatalogError):
+            db.rows("db1", "t")

@@ -1,0 +1,92 @@
+"""End-to-end integration: optimize → validate → execute → compare with
+the centralized reference execution."""
+
+import pytest
+
+from repro.errors import ComplianceViolationError, NonCompliantQueryError
+from repro.execution import ExecutionEngine, reference_plan
+from repro.optimizer import CompliantOptimizer, TraditionalOptimizer, normalize
+from repro.sql import Binder
+
+from ..conftest import rows_as_multiset
+
+
+QUERIES = [
+    "SELECT C.name FROM customer C WHERE C.acctbal > 500",
+    "SELECT C.name, O.totprice FROM customer C, orders O WHERE C.custkey = O.custkey",
+    "SELECT O.custkey, SUM(O.totprice) AS t FROM orders O GROUP BY O.custkey",
+    "SELECT C.name, SUM(O.totprice) AS p, SUM(S.quantity) AS q "
+    "FROM customer C, orders O, supply S "
+    "WHERE C.custkey = O.custkey AND O.ordkey = S.ordkey GROUP BY C.name",
+    "SELECT C.mktseg, COUNT(*) AS n FROM customer C, orders O "
+    "WHERE C.custkey = O.custkey AND O.totprice > 50 GROUP BY C.mktseg",
+]
+
+
+@pytest.fixture(scope="module")
+def setup(carco):
+    compliant = CompliantOptimizer(carco.catalog, carco.policies, carco.network)
+    engine = ExecutionEngine(carco.database, carco.network, policy_guard=compliant.evaluator)
+    unguarded = ExecutionEngine(carco.database, carco.network)
+    return carco, compliant, engine, unguarded
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_compliant_plan_preserves_semantics(setup, sql):
+    """The paper's core semantic requirement: a compliant QEP returns the
+    same result as if there were no dataflow policies."""
+    carco, compliant, engine, unguarded = setup
+    logical = Binder(carco.catalog).bind_sql(sql)
+    expected = unguarded.execute(reference_plan(normalize(logical))).rows
+    result = compliant.optimize(sql)
+    actual = engine.execute(result.plan).rows
+    assert rows_as_multiset(actual) == rows_as_multiset(expected)
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_traditional_plan_also_correct_when_executed_unguarded(setup, sql):
+    carco, compliant, engine, unguarded = setup
+    logical = Binder(carco.catalog).bind_sql(sql)
+    expected = unguarded.execute(reference_plan(normalize(logical))).rows
+    traditional = TraditionalOptimizer(carco.catalog, carco.network)
+    plan = traditional.optimize(sql).plan
+    actual = unguarded.execute(plan).rows
+    assert rows_as_multiset(actual) == rows_as_multiset(expected)
+
+
+def test_guard_blocks_traditional_carco_plan(setup):
+    carco, compliant, engine, _ = setup
+    traditional = TraditionalOptimizer(carco.catalog, carco.network)
+    plan = traditional.optimize(carco.query).plan
+    with pytest.raises(ComplianceViolationError):
+        engine.execute(plan)
+
+
+def test_carco_full_flow(setup):
+    carco, compliant, engine, unguarded = setup
+    result = compliant.optimize(carco.query)
+    output = engine.execute(result.plan)
+    logical = Binder(carco.catalog).bind_sql(carco.query)
+    expected = unguarded.execute(reference_plan(normalize(logical))).rows
+    assert rows_as_multiset(output.rows) == rows_as_multiset(expected)
+    assert output.metrics.total_bytes_shipped > 0
+    assert output.simulated_cost > 0
+
+
+def test_rejected_query_reported_not_executed(setup):
+    carco, compliant, engine, _ = setup
+    with pytest.raises(NonCompliantQueryError):
+        compliant.optimize("SELECT C.acctbal FROM customer C, orders O WHERE C.custkey = O.custkey")
+
+
+def test_order_by_limit_applied_at_result_site(setup):
+    carco, compliant, engine, unguarded = setup
+    sql = (
+        "SELECT O.custkey, SUM(O.totprice) AS t FROM orders O "
+        "GROUP BY O.custkey ORDER BY t DESC LIMIT 5"
+    )
+    result = compliant.optimize(sql)
+    output = engine.execute(result.plan)
+    assert len(output.rows) == 5
+    totals = [r[1] for r in output.rows]
+    assert totals == sorted(totals, reverse=True)

@@ -1,0 +1,116 @@
+"""Property-based pipeline equivalence.
+
+Hypothesis composes random queries over the CarCo world (random output
+columns, predicates, optional grouping/aggregation). For each query:
+
+* the normalized plan, the compliant optimizer's plan (when one exists),
+  and the traditional optimizer's plan must all produce exactly the rows
+  of the raw bound plan's reference execution;
+* whenever the compliant optimizer succeeds, its plan passes the
+  independent Definition-1 validator (Theorem 1 again, over a different
+  query distribution than the TPC-H-based property test).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import NonCompliantQueryError
+from repro.execution import ExecutionEngine, reference_plan
+from repro.optimizer import (
+    CompliantOptimizer,
+    TraditionalOptimizer,
+    check_compliance,
+    normalize,
+)
+from repro.sql import Binder
+
+from ..conftest import build_carco, rows_as_multiset
+
+_CARCO = build_carco(customers=30, orders=120, supplies=300)
+_BINDER = Binder(_CARCO.catalog)
+_ENGINE = ExecutionEngine(_CARCO.database, _CARCO.network)
+_COMPLIANT = CompliantOptimizer(_CARCO.catalog, _CARCO.policies, _CARCO.network)
+_TRADITIONAL = TraditionalOptimizer(_CARCO.catalog, _CARCO.network)
+
+_OUTPUTS = [
+    "C.name",
+    "C.mktseg",
+    "O.totprice",
+    "O.ordkey",
+    "S.quantity",
+    "S.extprice",
+]
+_PREDICATES = [
+    "C.acctbal > 500",
+    "C.mktseg = 'a'",
+    "O.totprice < 50",
+    "O.totprice BETWEEN 10 AND 80",
+    "S.quantity >= 5",
+    "S.extprice < 3 OR S.quantity > 7",
+]
+_AGGREGATES = [
+    "SUM(O.totprice)",
+    "SUM(S.quantity)",
+    "COUNT(*)",
+    "MIN(S.extprice)",
+    "MAX(O.totprice)",
+    "AVG(S.quantity)",
+]
+_GROUP_KEYS = ["C.name", "C.mktseg", "O.ordkey"]
+
+
+@st.composite
+def carco_queries(draw) -> str:
+    is_aggregate = draw(st.booleans())
+    predicates = draw(
+        st.lists(st.sampled_from(_PREDICATES), max_size=2, unique=True)
+    )
+    where = " AND ".join(
+        [
+            "C.custkey = O.custkey",
+            "O.ordkey = S.ordkey",
+        ]
+        + predicates
+    )
+    if is_aggregate:
+        keys = draw(
+            st.lists(st.sampled_from(_GROUP_KEYS), min_size=1, max_size=2, unique=True)
+        )
+        aggs = draw(
+            st.lists(st.sampled_from(_AGGREGATES), min_size=1, max_size=2, unique=True)
+        )
+        select_items = keys + [f"{a} AS a{i}" for i, a in enumerate(aggs)]
+        return (
+            f"SELECT {', '.join(select_items)} FROM customer C, orders O, supply S "
+            f"WHERE {where} GROUP BY {', '.join(keys)}"
+        )
+    outputs = draw(
+        st.lists(st.sampled_from(_OUTPUTS), min_size=1, max_size=4, unique=True)
+    )
+    return (
+        f"SELECT {', '.join(outputs)} FROM customer C, orders O, supply S "
+        f"WHERE {where}"
+    )
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(sql=carco_queries())
+def test_pipeline_equivalence(sql):
+    logical = _BINDER.bind_sql(sql)
+    expected = rows_as_multiset(
+        _ENGINE.execute(reference_plan(normalize(logical))).rows
+    )
+
+    traditional = _TRADITIONAL.optimize(sql)
+    assert rows_as_multiset(_ENGINE.execute(traditional.plan).rows) == expected
+
+    try:
+        compliant = _COMPLIANT.optimize(sql)
+    except NonCompliantQueryError:
+        return  # rejection is allowed; silent non-compliance is not
+    assert rows_as_multiset(_ENGINE.execute(compliant.plan).rows) == expected
+    assert not check_compliance(compliant.plan, _COMPLIANT.evaluator)

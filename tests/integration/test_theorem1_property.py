@@ -1,0 +1,70 @@
+"""Property-based test of Theorem 1 (soundness).
+
+Random policy catalogs (drawn from the TPC-H template generator) and
+random ad-hoc queries: whenever the compliance-based optimizer produces a
+plan, that plan must pass the independent Definition-1 validator, and its
+execution traits must never be empty.  Rejections are allowed (the
+optimizer is incomplete) — silent non-compliance is not.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import NonCompliantQueryError
+from repro.optimizer import CompliantOptimizer, check_compliance
+from repro.policy import PolicyEvaluator
+from repro.tpch import (
+    AdHocQueryGenerator,
+    PolicyGenerator,
+    build_catalog,
+    default_network,
+)
+
+_CATALOG = build_catalog(scale=0.1)
+_NETWORK = default_network()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    policy_seed=st.integers(0, 10_000),
+    query_seed=st.integers(0, 10_000),
+    template=st.sampled_from(["T", "C", "CR", "CR+A"]),
+    expression_count=st.integers(8, 40),
+    with_hub=st.booleans(),
+)
+def test_optimizer_never_emits_noncompliant_plan(
+    policy_seed, query_seed, template, expression_count, with_hub
+):
+    generator = PolicyGenerator(
+        _CATALOG,
+        seed=policy_seed,
+        hub="NorthAmerica" if with_hub else None,
+    )
+    policies = generator.generate(template, expression_count)
+    optimizer = CompliantOptimizer(
+        _CATALOG, policies, _NETWORK, max_expressions=2000
+    )
+    evaluator = PolicyEvaluator(policies)
+    queries = AdHocQueryGenerator(seed=query_seed).generate(3)
+    for query in queries:
+        try:
+            result = optimizer.optimize(query.sql)
+        except NonCompliantQueryError:
+            if with_hub:
+                pytest.fail(
+                    "hub coverage guarantees a compliant plan exists; "
+                    f"rejected: {query.sql}"
+                )
+            continue
+        violations = check_compliance(result.plan, evaluator)
+        assert not violations, (
+            f"Theorem 1 violated for {query.sql}: "
+            + "; ".join(str(v) for v in violations)
+        )
+        for node in result.annotate.root.walk():
+            assert node.execution_trait
+            assert node.execution_trait <= node.shipping_trait

@@ -1,0 +1,175 @@
+"""Plan annotator (phase 1) and site selector (phase 2) tests, driven by
+the paper's CarCo running example."""
+
+import pytest
+
+from repro.errors import NonCompliantQueryError
+from repro.optimizer import (
+    CompliantOptimizer,
+    TraditionalOptimizer,
+    check_compliance,
+    check_compliance_strict,
+)
+from repro.plan import HashAggregate, Project, Ship, TableScan, ship_operators
+from repro.policy import PolicyCatalog, PolicyEvaluator
+
+
+@pytest.fixture()
+def optimizer(carco):
+    return CompliantOptimizer(carco.catalog, carco.policies, carco.network)
+
+
+class TestAnnotator:
+    def test_carco_query_is_legal(self, optimizer, carco):
+        assert optimizer.is_legal(carco.query)
+
+    def test_annotated_traits_respect_ar1(self, optimizer, carco):
+        result = optimizer.optimize(carco.query)
+        for node in result.annotate.root.walk():
+            from repro.plan import LogicalScan
+
+            if isinstance(node.op, LogicalScan):
+                assert node.execution_trait == {node.op.location}
+
+    def test_annotated_traits_shipping_superset_of_execution(self, optimizer, carco):
+        result = optimizer.optimize(carco.query)
+        for node in result.annotate.root.walk():
+            assert node.execution_trait <= node.shipping_trait
+            assert node.execution_trait  # compliance-adapted cost: never empty
+
+    def test_illegal_query_rejected(self, optimizer, carco):
+        # Raw account balances can never leave North America.
+        with pytest.raises(NonCompliantQueryError):
+            optimizer.optimize(
+                "SELECT C.acctbal, O.totprice FROM customer C, orders O "
+                "WHERE C.custkey = O.custkey"
+            )
+
+    def test_legal_with_masked_projection(self, optimizer):
+        # Same join but without acctbal: compliant (mask via projection).
+        result = optimizer.optimize(
+            "SELECT C.name, O.totprice FROM customer C, orders O "
+            "WHERE C.custkey = O.custkey"
+        )
+        assert not check_compliance(result.plan, optimizer.evaluator)
+
+    def test_fig1b_plan_structure(self, optimizer, carco):
+        """The compliant plan must mask Customer via projection before its
+        SHIP and pre-aggregate Supply in Asia (paper Fig. 1(b))."""
+        result = optimizer.optimize(carco.query)
+        ships = ship_operators(result.plan)
+        assert ships, "geo-distributed plan must ship something"
+        # Customer leaves North America only after the masking projection.
+        for ship in ships:
+            if ship.source == "NorthAmerica":
+                names = {f.name for f in ship.fields}
+                assert "c.acctbal" not in names
+        # Supply leaves Asia only pre-aggregated.
+        for ship in ships:
+            if ship.source == "Asia":
+                assert isinstance(ship.child, HashAggregate)
+
+    def test_rejects_when_no_policies(self, carco):
+        empty = PolicyCatalog(carco.catalog)
+        optimizer = CompliantOptimizer(carco.catalog, empty, carco.network)
+        with pytest.raises(NonCompliantQueryError):
+            optimizer.optimize(carco.query)
+
+    def test_single_site_query_always_legal(self, carco):
+        empty = PolicyCatalog(carco.catalog)
+        optimizer = CompliantOptimizer(carco.catalog, empty, carco.network)
+        result = optimizer.optimize("SELECT O.totprice FROM orders O")
+        assert result.plan.location == "Europe"
+        assert not ship_operators(result.plan)
+
+
+class TestSiteSelector:
+    def test_ships_only_on_location_changes(self, optimizer, carco):
+        result = optimizer.optimize(carco.query)
+
+        def check(node):
+            for child in node.children():
+                if isinstance(node, Ship):
+                    # A SHIP's input lives at the source site.
+                    assert child.location == node.source
+                    assert node.source != node.target
+                    assert node.location == node.target
+                else:
+                    assert child.location == node.location
+                check(child)
+
+        check(result.plan)
+
+    def test_result_location_constraint(self, optimizer, carco):
+        result = optimizer.optimize(carco.query, result_location="Europe")
+        assert result.plan.location == "Europe"
+
+    def test_result_location_via_partial_aggregation(self, optimizer, carco):
+        # P_E allows *aggregated* order prices into Asia, so the result can
+        # be produced in Asia too (orders pre-aggregated before shipping).
+        result = optimizer.optimize(carco.query, result_location="Asia")
+        assert result.plan.location == "Asia"
+        assert not check_compliance(result.plan, optimizer.evaluator)
+
+    def test_unreachable_result_location_rejected(self, optimizer, carco):
+        # Order prices may never reach North America in any form (P_E).
+        with pytest.raises(NonCompliantQueryError):
+            optimizer.optimize(carco.query, result_location="NorthAmerica")
+
+    def test_phase2_is_fast_relative_to_phase1(self, optimizer, carco):
+        result = optimizer.optimize(carco.query)
+        # Site selection is a small DP; the paper reports ~1-2ms.
+        assert result.phase2_seconds < result.phase1_seconds
+
+    def test_scan_placed_at_table_location(self, optimizer, carco):
+        result = optimizer.optimize(carco.query)
+        for node in result.plan.walk():
+            if isinstance(node, TableScan):
+                stored = carco.catalog.stored_table(node.database, node.table)
+                assert node.location == stored.location
+
+
+class TestSoundnessTheorem1:
+    QUERIES = [
+        "SELECT C.name FROM customer C",
+        "SELECT C.name, O.totprice FROM customer C, orders O WHERE C.custkey = O.custkey",
+        "SELECT S.ordkey, SUM(S.quantity) AS q FROM supply S GROUP BY S.ordkey",
+        "SELECT C.name, SUM(S.quantity) AS q FROM customer C, orders O, supply S "
+        "WHERE C.custkey = O.custkey AND O.ordkey = S.ordkey GROUP BY C.name",
+        "SELECT O.custkey, SUM(O.totprice) AS t FROM orders O GROUP BY O.custkey",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_compliant_output_always_validates(self, optimizer, sql):
+        result = optimizer.optimize(sql)
+        assert not check_compliance(result.plan, optimizer.evaluator)
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_compliant_output_validates_strictly(self, optimizer, sql):
+        result = optimizer.optimize(sql)
+        assert not check_compliance_strict(result.plan, optimizer.evaluator)
+
+
+class TestTraditionalBaseline:
+    def test_traditional_ignores_policies(self, carco):
+        traditional = TraditionalOptimizer(carco.catalog, carco.network)
+        result = traditional.optimize(carco.query)
+        evaluator = PolicyEvaluator(carco.policies)
+        assert check_compliance(result.plan, evaluator)  # NC, as in Fig. 1(a)
+
+    def test_traditional_plan_still_executable_shape(self, carco):
+        traditional = TraditionalOptimizer(carco.catalog, carco.network)
+        result = traditional.optimize(carco.query)
+        assert isinstance(result.plan, Project)
+
+    def test_same_plan_when_traditional_is_compliant(self, carco):
+        """Paper §7.4: whenever the traditional plan is compliant, the
+        compliance-based optimizer produces the same plan."""
+        from repro.plan import explain_physical
+
+        sql = "SELECT C.custkey, C.name FROM customer C WHERE C.acctbal > 100"
+        compliant = CompliantOptimizer(carco.catalog, carco.policies, carco.network)
+        traditional = TraditionalOptimizer(carco.catalog, carco.network)
+        c_plan = compliant.optimize(sql).plan
+        t_plan = traditional.optimize(sql).plan
+        assert explain_physical(c_plan) == explain_physical(t_plan)

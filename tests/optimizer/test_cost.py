@@ -1,0 +1,122 @@
+"""Cost model: selectivities, cardinalities, operator costs."""
+
+import pytest
+
+from repro.optimizer import CostModel, normalize
+from repro.optimizer.cost import CostWeights
+from repro.plan import LogicalAggregate, LogicalFilter, LogicalJoin, LogicalScan
+from repro.sql import Binder
+from repro.tpch import build_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def model(catalog):
+    return CostModel(catalog)
+
+
+@pytest.fixture(scope="module")
+def binder(catalog):
+    return Binder(catalog)
+
+
+def node(plan, kind):
+    return next(n for n in plan.walk() if isinstance(n, kind))
+
+
+def test_scan_cardinality_from_stats(model, binder):
+    plan = binder.bind_sql("SELECT c_custkey FROM customer")
+    scan = node(plan, LogicalScan)
+    assert model.estimate_rows(scan) == 15_000
+
+
+def test_equality_selectivity_uses_ndv(model, binder):
+    plan = normalize(binder.bind_sql(
+        "SELECT c_custkey FROM customer WHERE c_mktsegment = 'BUILDING'"
+    ))
+    filt = node(plan, LogicalFilter)
+    # 5 market segments -> 1/5 of the table.
+    assert model.estimate_rows(filt) == pytest.approx(15_000 / 5)
+
+
+def test_range_selectivity_default_third(model, binder):
+    plan = normalize(binder.bind_sql("SELECT c_custkey FROM customer WHERE c_acctbal > 0"))
+    filt = node(plan, LogicalFilter)
+    assert model.estimate_rows(filt) == pytest.approx(15_000 / 3)
+
+
+def test_conjunction_multiplies_selectivities(model, binder):
+    plan = normalize(binder.bind_sql(
+        "SELECT c_custkey FROM customer "
+        "WHERE c_mktsegment = 'BUILDING' AND c_acctbal > 0"
+    ))
+    filt = node(plan, LogicalFilter)
+    assert model.estimate_rows(filt) == pytest.approx(15_000 / 5 / 3)
+
+
+def test_pk_fk_join_cardinality(model, binder):
+    plan = normalize(binder.bind_sql(
+        "SELECT o_orderkey FROM customer, orders WHERE c_custkey = o_custkey"
+    ))
+    join = node(plan, LogicalJoin)
+    # |orders| rows survive a PK-FK join.
+    assert model.estimate_rows(join) == pytest.approx(150_000, rel=0.01)
+
+
+def test_group_count_capped_by_input(model, binder):
+    plan = normalize(binder.bind_sql(
+        "SELECT c_nationkey, COUNT(*) FROM customer GROUP BY c_nationkey"
+    ))
+    agg = node(plan, LogicalAggregate)
+    assert model.estimate_rows(agg) == 25  # nations
+
+
+def test_estimates_never_below_one(model, binder):
+    plan = normalize(binder.bind_sql(
+        "SELECT c_custkey FROM customer "
+        "WHERE c_mktsegment = 'X' AND c_mktsegment = 'Y' AND c_acctbal > 0 "
+        "AND c_acctbal < 0"
+    ))
+    assert model.estimate_rows(plan) >= 1.0
+
+
+def test_or_selectivity_capped_at_one(model, binder):
+    plan = normalize(binder.bind_sql(
+        "SELECT c_custkey FROM customer "
+        "WHERE c_acctbal > 0 OR c_acctbal < 100 OR c_acctbal > -50 OR c_acctbal < 200"
+    ))
+    filt = node(plan, LogicalFilter)
+    assert model.estimate_rows(filt) <= 15_000
+
+
+def test_hash_join_cheaper_than_nested_loop(model, binder):
+    equi = normalize(binder.bind_sql(
+        "SELECT o_orderkey FROM customer, orders WHERE c_custkey = o_custkey"
+    ))
+    theta = normalize(binder.bind_sql(
+        "SELECT o_orderkey FROM customer, orders WHERE c_custkey < o_custkey"
+    ))
+    equi_join = node(equi, LogicalJoin)
+    theta_join = node(theta, LogicalJoin)
+    child_rows = (15_000.0, 150_000.0)
+    equi_cost = model.operator_cost(equi_join, child_rows, 150_000.0)
+    theta_cost = model.operator_cost(theta_join, child_rows, 1e6)
+    assert equi_cost < theta_cost
+
+
+def test_custom_weights_respected(catalog, binder):
+    heavy = CostModel(catalog, CostWeights(scan=100.0))
+    light = CostModel(catalog, CostWeights(scan=0.1))
+    plan = node(binder.bind_sql("SELECT c_custkey FROM customer"), LogicalScan)
+    rows = heavy.estimate_rows(plan)
+    assert heavy.operator_cost(plan, (), rows) > light.operator_cost(plan, (), rows)
+
+
+def test_row_cache_consistency(model, binder):
+    plan = binder.bind_sql("SELECT c_custkey FROM customer")
+    scan = node(plan, LogicalScan)
+    assert model.estimate_rows(scan) == model.estimate_rows(scan)

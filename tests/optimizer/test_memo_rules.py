@@ -1,0 +1,238 @@
+"""Memo mechanics and transformation-rule correctness.
+
+Rule outputs are checked both structurally and *semantically*: every
+alternative a rule adds to a group must produce exactly the same rows as
+the original expression when executed.
+"""
+
+import pytest
+
+from repro.execution import ExecutionEngine, reference_plan
+from repro.optimizer import GroupRef, Memo, explore, normalize
+from repro.optimizer.rules import (
+    AggregateJoinTranspose,
+    JoinAssociate,
+    JoinCommute,
+    ordered_conjunction,
+)
+from repro.plan import LogicalAggregate, LogicalJoin, LogicalScan
+from repro.sql import Binder
+
+from ..conftest import rows_as_multiset
+
+
+def full_plan(memo, plan):
+    """Expand GroupRefs into representative subplans, recursively."""
+    children = tuple(
+        memo.group(c.group_id).representative if isinstance(c, GroupRef) else full_plan(memo, c)
+        for c in plan.children()
+    )
+    return plan.with_children(children) if children else plan
+
+
+def run_named(engine, logical):
+    """Execute a logical plan and return rows with columns in sorted-name
+    order (join commutation permutes field order; names stay unique)."""
+    result = engine.execute(reference_plan(logical))
+    order = sorted(range(len(result.columns)), key=lambda i: result.columns[i])
+    return [tuple(row[i] for i in order) for row in result.rows]
+
+
+def core_group(memo, root):
+    """The group below the root output projection (joins/aggregates live
+    there; rules never fire on the projection itself)."""
+    root_expr = memo.group(root).exprs[0]
+    child_groups = root_expr.child_groups
+    return memo.group(child_groups[0]) if child_groups else memo.group(root)
+
+
+@pytest.fixture()
+def binder(carco):
+    return Binder(carco.catalog)
+
+
+@pytest.fixture()
+def engine(carco):
+    return ExecutionEngine(carco.database, carco.network)
+
+
+THREE_WAY = (
+    "SELECT C.name, O.totprice, S.quantity FROM customer C, orders O, supply S "
+    "WHERE C.custkey = O.custkey AND O.ordkey = S.ordkey"
+)
+
+AGG_JOIN = (
+    "SELECT C.name, SUM(S.quantity) AS q, SUM(O.totprice) AS p, COUNT(*) AS n "
+    "FROM customer C, orders O, supply S "
+    "WHERE C.custkey = O.custkey AND O.ordkey = S.ordkey GROUP BY C.name"
+)
+
+
+class TestMemo:
+    def test_register_deduplicates_identical_subplans(self, binder):
+        plan = normalize(binder.bind_sql("SELECT C.name FROM customer C"))
+        memo = Memo()
+        g1 = memo.register_plan(plan)
+        g2 = memo.register_plan(plan)
+        assert g1 == g2
+
+    def test_join_children_canonicalized_by_group_id(self, binder):
+        plan = normalize(binder.bind_sql(THREE_WAY))
+        memo = Memo()
+        memo.register_plan(plan)
+        for group in memo.groups:
+            for mexpr in group.exprs:
+                if isinstance(mexpr.plan, LogicalJoin):
+                    left, right = mexpr.plan.left, mexpr.plan.right
+                    if isinstance(left, GroupRef) and isinstance(right, GroupRef):
+                        assert left.group_id < right.group_id
+
+    def test_budget_stops_exploration(self, binder):
+        plan = normalize(binder.bind_sql(THREE_WAY))
+        unbounded = Memo()
+        unbounded.register_plan(plan)
+        explore(unbounded, [JoinCommute(), JoinAssociate()])
+
+        memo = Memo()
+        initial = memo.register_plan(plan) and memo.expression_count
+        memo = Memo(max_expressions=memo.expression_count + 1)
+        memo.register_plan(plan)
+        stats = explore(memo, [JoinCommute(), JoinAssociate()])
+        assert stats.budget_exhausted
+        assert memo.expression_count < unbounded.expression_count
+
+    def test_exploration_reaches_fixpoint(self, binder):
+        plan = normalize(binder.bind_sql(THREE_WAY))
+        memo = Memo()
+        memo.register_plan(plan)
+        stats1 = explore(memo, [JoinCommute(), JoinAssociate()])
+        added_first = stats1.expressions_added
+        stats2 = explore(memo, [JoinCommute(), JoinAssociate()])
+        assert added_first > 0
+        assert stats2.expressions_added == 0
+
+
+class TestJoinRules:
+    def test_commute_adds_swapped_alternative(self, binder):
+        plan = normalize(binder.bind_sql(THREE_WAY))
+        memo = Memo()
+        root = memo.register_plan(plan)
+        explore(memo, [JoinCommute()])
+        joins = [
+            m.plan
+            for g in memo.groups
+            for m in g.exprs
+            if isinstance(m.plan, LogicalJoin)
+        ]
+        # Each join appears in both orientations.
+        keys = {(j.left.group_id, j.right.group_id) for j in joins}
+        assert all((b, a) in keys for a, b in keys)
+
+    def test_associate_explores_all_join_orders(self, binder):
+        plan = normalize(binder.bind_sql(THREE_WAY))
+        memo = Memo()
+        memo.register_plan(plan)
+        explore(memo, [JoinCommute(), JoinAssociate()])
+        # With 3 relations and no cross products, both join orders
+        # ((C⋈O)⋈S and C⋈(O⋈S)) must exist somewhere in the memo.
+        group_reps = set()
+        for g in memo.groups:
+            rep = g.representative
+            scans = sorted(
+                n.table for n in rep.walk() if isinstance(n, LogicalScan)
+            )
+            if len(scans) == 2:
+                group_reps.add(tuple(scans))
+        assert ("customer", "orders") in group_reps
+        assert ("orders", "supply") in group_reps
+
+    def test_rule_outputs_semantically_equal(self, binder, engine, carco):
+        plan = normalize(binder.bind_sql(THREE_WAY))
+        memo = Memo()
+        root = memo.register_plan(plan)
+        explore(memo, [JoinCommute(), JoinAssociate()])
+        group = core_group(memo, root)
+        expected = rows_as_multiset(run_named(engine, group.representative))
+        assert len(group.exprs) > 1
+        for mexpr in group.exprs:
+            alternative = full_plan(memo, mexpr.plan)
+            assert rows_as_multiset(run_named(engine, alternative)) == expected
+
+    def test_no_cross_products_by_default(self, binder):
+        plan = normalize(binder.bind_sql(THREE_WAY))
+        memo = Memo()
+        memo.register_plan(plan)
+        explore(memo, [JoinCommute(), JoinAssociate()])
+        for g in memo.groups:
+            for m in g.exprs:
+                if isinstance(m.plan, LogicalJoin):
+                    assert m.plan.condition is not None
+
+
+class TestAggregateJoinTranspose:
+    def test_partial_aggregate_created(self, binder):
+        plan = normalize(binder.bind_sql(AGG_JOIN))
+        memo = Memo()
+        memo.register_plan(plan)
+        explore(memo, [JoinCommute(), JoinAssociate(), AggregateJoinTranspose()])
+        partials = [
+            m.plan
+            for g in memo.groups
+            for m in g.exprs
+            if isinstance(m.plan, LogicalAggregate)
+            and any(n.startswith("$p") for n in m.plan.agg_names)
+        ]
+        assert partials
+
+    def test_all_alternatives_semantically_equal(self, binder, engine):
+        plan = normalize(binder.bind_sql(AGG_JOIN))
+        memo = Memo()
+        root = memo.register_plan(plan)
+        explore(memo, [JoinCommute(), JoinAssociate(), AggregateJoinTranspose()])
+        group = core_group(memo, root)
+        expected = rows_as_multiset(run_named(engine, group.representative))
+        seen_rewrite = False
+        for mexpr in group.exprs:
+            alternative = full_plan(memo, mexpr.plan)
+            if isinstance(alternative, LogicalAggregate) and any(
+                isinstance(n, LogicalAggregate) and n is not alternative
+                for n in alternative.walk()
+            ):
+                seen_rewrite = True
+            assert rows_as_multiset(run_named(engine, alternative)) == expected, str(
+                alternative
+            )
+        assert seen_rewrite
+
+    def test_avg_blocks_rewrite(self, binder):
+        plan = normalize(
+            binder.bind_sql(
+                "SELECT C.name, AVG(S.quantity) FROM customer C, orders O, supply S "
+                "WHERE C.custkey = O.custkey AND O.ordkey = S.ordkey GROUP BY C.name"
+            )
+        )
+        memo = Memo()
+        memo.register_plan(plan)
+        explore(memo, [AggregateJoinTranspose()])
+        partials = [
+            m.plan
+            for g in memo.groups
+            for m in g.exprs
+            if isinstance(m.plan, LogicalAggregate)
+            and any(n.startswith("$p") for n in m.plan.agg_names)
+        ]
+        assert not partials
+
+
+def test_ordered_conjunction_is_deterministic():
+    from repro.datatypes import DataType
+    from repro.expr import ColumnRef, Comparison, ComparisonOp, Literal
+
+    a = Comparison(
+        ComparisonOp.GT, ColumnRef("a", DataType.INTEGER), Literal(1, DataType.INTEGER)
+    )
+    b = Comparison(
+        ComparisonOp.LT, ColumnRef("b", DataType.INTEGER), Literal(2, DataType.INTEGER)
+    )
+    assert ordered_conjunction([a, b]) == ordered_conjunction([b, a])
+    assert ordered_conjunction([]) is None

@@ -1,0 +1,163 @@
+"""Normalization: pushdown, pruning, and semantics preservation."""
+
+import pytest
+
+from repro.execution import ExecutionEngine, reference_plan
+from repro.optimizer import normalize, prune_columns, push_predicates
+from repro.plan import (
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    LogicalScan,
+    LogicalUnion,
+)
+from repro.sql import Binder
+
+from ..conftest import rows_as_multiset
+
+
+@pytest.fixture(scope="module")
+def binder(carco):
+    return Binder(carco.catalog)
+
+
+def find(plan, kind):
+    return [n for n in plan.walk() if isinstance(n, kind)]
+
+
+def feeds_scan(node):
+    """True when node is a Scan or a pruning Project directly over one."""
+    if isinstance(node, LogicalScan):
+        return True
+    return isinstance(node, LogicalProject) and isinstance(node.child, LogicalScan)
+
+
+def test_single_table_predicates_reach_scans(binder):
+    plan = binder.bind_sql(
+        "SELECT C.name FROM customer C, orders O "
+        "WHERE C.custkey = O.custkey AND C.acctbal > 10 AND O.totprice < 5"
+    )
+    normalized = normalize(plan)
+    filters = find(normalized, LogicalFilter)
+    assert len(filters) == 2
+    for f in filters:
+        assert feeds_scan(f.child)
+
+
+def test_join_condition_extracted(binder):
+    plan = binder.bind_sql(
+        "SELECT C.name FROM customer C, orders O WHERE C.custkey = O.custkey"
+    )
+    normalized = normalize(plan)
+    joins = find(normalized, LogicalJoin)
+    assert len(joins) == 1
+    assert joins[0].condition is not None
+    # No residual filter nodes remain.
+    assert not find(normalized, LogicalFilter)
+
+
+def test_pruning_projects_inserted_above_scans(binder):
+    # customer has 5 columns; only name must flow above the scan (the
+    # pruning project may be merged into the output project).
+    plan = binder.bind_sql("SELECT C.name FROM customer C")
+    normalized = normalize(plan)
+    projects = [
+        p
+        for p in find(normalized, LogicalProject)
+        if isinstance(p.child, LogicalScan)
+    ]
+    assert projects
+    assert len(projects[0].exprs) == 1
+    refs = projects[0].exprs[0].references()
+    assert refs == {"c.name"}
+
+
+def test_pruning_masks_restricted_columns_in_join(binder):
+    # The Fig. 1(b) masking projection: only custkey and name cross.
+    plan = binder.bind_sql(
+        "SELECT C.name, O.totprice FROM customer C, orders O "
+        "WHERE C.custkey = O.custkey"
+    )
+    normalized = normalize(plan)
+    scans_projected = [
+        p
+        for p in find(normalized, LogicalProject)
+        if isinstance(p.child, LogicalScan) and p.child.table == "customer"
+    ]
+    assert scans_projected
+    assert set(scans_projected[0].names) == {"c.custkey", "c.name"}
+
+
+def test_predicate_pushdown_through_project(binder):
+    plan = binder.bind_sql(
+        "SELECT x.name FROM (SELECT name, acctbal FROM customer) AS x "
+        "WHERE x.acctbal > 100"
+    )
+    normalized = normalize(plan)
+    filters = find(normalized, LogicalFilter)
+    assert len(filters) == 1
+    assert feeds_scan(filters[0].child)
+
+
+def test_having_predicate_stays_above_aggregate(binder):
+    plan = binder.bind_sql(
+        "SELECT C.mktseg FROM customer C GROUP BY C.mktseg HAVING COUNT(*) > 1"
+    )
+    normalized = normalize(plan)
+    filters = find(normalized, LogicalFilter)
+    assert len(filters) == 1
+    from repro.plan import LogicalAggregate
+
+    assert isinstance(filters[0].child, LogicalAggregate)
+
+
+def test_group_key_predicate_pushed_below_aggregate(binder):
+    plan = binder.bind_sql(
+        "SELECT C.mktseg, COUNT(*) FROM customer C GROUP BY C.mktseg "
+        "HAVING C.mktseg = 'a'"
+    )
+    normalized = normalize(plan)
+    filters = find(normalized, LogicalFilter)
+    assert len(filters) == 1
+    assert feeds_scan(filters[0].child)
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "SELECT C.name, C.acctbal FROM customer C WHERE C.acctbal > 500",
+        "SELECT C.name, O.totprice FROM customer C, orders O "
+        "WHERE C.custkey = O.custkey AND O.totprice > 50",
+        "SELECT C.mktseg, SUM(O.totprice) AS t FROM customer C, orders O "
+        "WHERE C.custkey = O.custkey GROUP BY C.mktseg",
+        "SELECT S.ordkey, SUM(S.quantity) AS q FROM supply S "
+        "WHERE S.extprice > 2 GROUP BY S.ordkey",
+    ],
+)
+def test_normalization_preserves_semantics(carco, sql):
+    binder = Binder(carco.catalog)
+    engine = ExecutionEngine(carco.database, carco.network)
+    plan = binder.bind_sql(sql)
+    before = engine.execute(reference_plan(plan)).rows
+    after = engine.execute(reference_plan(normalize(plan))).rows
+    assert rows_as_multiset(before) == rows_as_multiset(after)
+
+
+def test_pushdown_into_union_branches():
+    from repro.catalog import Catalog, Column, TableSchema, uniform_stats
+    from repro.datatypes import DataType
+
+    c = Catalog()
+    c.add_database("db1", "L1")
+    c.add_database("db2", "L2")
+    schema = TableSchema("f", (Column("a", DataType.INTEGER), Column("b", DataType.INTEGER)))
+    c.add_fragmented_table(
+        schema, [("db1", uniform_stats(schema, 5)), ("db2", uniform_stats(schema, 5))]
+    )
+    plan = Binder(c).bind_sql("SELECT a FROM f WHERE b > 1")
+    normalized = normalize(plan)
+    unions = find(normalized, LogicalUnion)
+    assert len(unions) == 1
+    for branch in unions[0].inputs:
+        branch_filters = find(branch, LogicalFilter)
+        assert len(branch_filters) == 1

@@ -1,0 +1,82 @@
+"""Optimizer robustness: budgets, cross products, reuse across queries."""
+
+import pytest
+
+from repro.optimizer import CompliantOptimizer, TraditionalOptimizer, check_compliance
+from repro.plan import NestedLoopJoin
+from repro.policy import PolicyCatalog
+
+
+def test_exhausted_budget_still_yields_valid_plan(carco):
+    """When the memo budget stops exploration early, the initial plan is
+    always registered, so a (possibly suboptimal) compliant plan or a
+    clean rejection must still come out — never a crash."""
+    optimizer = CompliantOptimizer(
+        carco.catalog, carco.policies, carco.network, max_expressions=12
+    )
+    result = optimizer.optimize(
+        "SELECT C.name, O.totprice FROM customer C, orders O "
+        "WHERE C.custkey = O.custkey"
+    )
+    assert not check_compliance(result.plan, optimizer.evaluator)
+
+
+def test_cross_product_query_supported(carco):
+    """Queries with no join predicate need cross products; both the
+    binder and the executor-facing plan must handle them."""
+    optimizer = TraditionalOptimizer(carco.catalog, carco.network)
+    result = optimizer.optimize(
+        "SELECT C.name, S.quantity FROM customer C, supply S "
+        "WHERE C.acctbal > 990 AND S.quantity > 8"
+    )
+    assert any(isinstance(n, NestedLoopJoin) for n in result.plan.walk())
+
+
+def test_allow_cross_products_flag_expands_search(carco):
+    restricted = CompliantOptimizer(
+        carco.catalog, carco.policies, carco.network, allow_cross_products=False
+    )
+    permissive = CompliantOptimizer(
+        carco.catalog, carco.policies, carco.network, allow_cross_products=True
+    )
+    sql = (
+        "SELECT C.name, SUM(S.quantity) AS q FROM customer C, orders O, supply S "
+        "WHERE C.custkey = O.custkey AND O.ordkey = S.ordkey GROUP BY C.name"
+    )
+    r_restricted = restricted.optimize(sql)
+    r_permissive = permissive.optimize(sql)
+    assert (
+        r_permissive.annotate.expression_count
+        >= r_restricted.annotate.expression_count
+    )
+
+
+def test_optimizer_reuse_across_many_queries(carco):
+    """One optimizer instance must stay correct across queries (the AR4
+    grant cache is memo-local — the regression this guards against)."""
+    optimizer = CompliantOptimizer(carco.catalog, carco.policies, carco.network)
+    queries = [
+        "SELECT C.name FROM customer C",
+        "SELECT O.custkey, SUM(O.totprice) AS t FROM orders O GROUP BY O.custkey",
+        "SELECT S.ordkey, SUM(S.quantity) AS q FROM supply S GROUP BY S.ordkey",
+        "SELECT C.name, O.totprice FROM customer C, orders O WHERE C.custkey = O.custkey",
+    ] * 2
+    for sql in queries:
+        result = optimizer.optimize(sql)
+        assert not check_compliance(result.plan, optimizer.evaluator), sql
+
+
+def test_empty_policy_catalog_keeps_local_queries_working(carco):
+    optimizer = CompliantOptimizer(
+        carco.catalog, PolicyCatalog(carco.catalog), carco.network
+    )
+    result = optimizer.optimize("SELECT O.ordkey FROM orders O WHERE O.totprice > 50")
+    assert result.plan.location == "Europe"
+
+
+def test_binding_error_propagates(carco):
+    optimizer = CompliantOptimizer(carco.catalog, carco.policies, carco.network)
+    from repro.errors import BindingError
+
+    with pytest.raises(BindingError):
+        optimizer.optimize("SELECT nothere FROM customer C")

@@ -1,0 +1,41 @@
+"""The response-time site-selection objective (paper §3.3 discussion:
+the methods "can also be adapted to other cost models (e.g., that
+determine query response time)")."""
+
+import pytest
+
+from repro.optimizer import CompliantOptimizer, TraditionalOptimizer, check_compliance
+from repro.optimizer.site_selector import SiteSelector
+
+
+def test_invalid_objective_rejected(carco):
+    with pytest.raises(ValueError):
+        SiteSelector(carco.network, objective="latency")
+
+
+def test_response_time_plans_remain_compliant(carco):
+    optimizer = CompliantOptimizer(
+        carco.catalog, carco.policies, carco.network, site_objective="response_time"
+    )
+    result = optimizer.optimize(carco.query)
+    assert not check_compliance(result.plan, optimizer.evaluator)
+
+
+def test_response_time_cost_is_critical_path(carco):
+    """For the same annotated plan, the response-time objective reports a
+    cost no larger than the total-transfer objective (max ≤ sum)."""
+    total = CompliantOptimizer(
+        carco.catalog, carco.policies, carco.network, site_objective="total"
+    ).optimize(carco.query)
+    response = CompliantOptimizer(
+        carco.catalog, carco.policies, carco.network, site_objective="response_time"
+    ).optimize(carco.query)
+    assert response.selection.shipping_cost <= total.selection.shipping_cost + 1e-12
+
+
+def test_traditional_supports_objective_too(carco):
+    optimizer = TraditionalOptimizer(
+        carco.catalog, carco.network, site_objective="response_time"
+    )
+    result = optimizer.optimize(carco.query)
+    assert result.plan is not None

@@ -1,0 +1,132 @@
+"""AggregateUnionTranspose: correctness and compliance value.
+
+The rule lets fragments export *pre-aggregated* data when a per-fragment
+policy forbids raw rows — extending the paper's aggregation-masking idea
+to GAV-fragmented tables (§7.5)."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, TableSchema, uniform_stats
+from repro.datatypes import DataType
+from repro.errors import NonCompliantQueryError
+from repro.execution import ExecutionEngine, reference_plan
+from repro.geo import GeoDatabase, synthetic_network
+from repro.optimizer import (
+    CompliantOptimizer,
+    Memo,
+    check_compliance,
+    explore,
+    normalize,
+)
+from repro.optimizer.rules import AggregateUnionTranspose
+from repro.plan import HashAggregate, LogicalAggregate, Ship, UnionAll
+from repro.policy import PolicyCatalog
+from repro.sql import Binder
+
+from ..conftest import rows_as_multiset
+
+
+@pytest.fixture()
+def world():
+    """A sales table fragmented over two locations."""
+    catalog = Catalog()
+    catalog.add_database("db1", "L1")
+    catalog.add_database("db2", "L2")
+    schema = TableSchema(
+        "sales",
+        (
+            Column("region", DataType.INTEGER),
+            Column("amount", DataType.INTEGER),
+        ),
+    )
+    catalog.add_fragmented_table(
+        schema,
+        [("db1", uniform_stats(schema, 100)), ("db2", uniform_stats(schema, 100))],
+    )
+    database = GeoDatabase(catalog)
+    database.load("db1", "sales", [(r % 5, r * 3) for r in range(100)])
+    database.load("db2", "sales", [(r % 5, r * 7 + 1) for r in range(100)])
+    network = synthetic_network(["L1", "L2"])
+    return catalog, database, network
+
+
+SQL = "SELECT region, SUM(amount) AS total, COUNT(*) AS n FROM sales GROUP BY region"
+
+
+def test_rule_produces_semantically_equal_plan(world):
+    catalog, database, network = world
+    engine = ExecutionEngine(database, network)
+    plan = normalize(Binder(catalog).bind_sql(SQL))
+    memo = Memo()
+    root = memo.register_plan(plan)
+    explore(memo, [AggregateUnionTranspose()])
+
+    expected = rows_as_multiset(engine.execute(reference_plan(plan)).rows)
+    core = memo.group(memo.group(root).exprs[0].child_groups[0])
+    rewrites = 0
+    for mexpr in core.exprs:
+        full_children = tuple(
+            memo.group(c.group_id).representative for c in mexpr.plan.children()
+        )
+        alternative = mexpr.plan.with_children(full_children)
+        if isinstance(alternative, LogicalAggregate) and any(
+            isinstance(n, LogicalAggregate) and n is not alternative
+            for n in alternative.walk()
+        ):
+            rewrites += 1
+        rows = engine.execute(reference_plan(alternative)).rows
+        assert rows_as_multiset(rows) == expected
+    assert rewrites == 1
+
+
+def test_aggregate_only_fragment_policy_needs_the_rule(world):
+    """Fragment db2 may export its sales only aggregated: without partial
+    aggregation below the union the query is rejected; with the rule the
+    optimizer ships a per-fragment aggregate and combines at L1."""
+    catalog, database, network = world
+    policies = PolicyCatalog(catalog)
+    # db1's raw rows must stay at L1; db2's rows may reach L1 only
+    # aggregated — so no single site can assemble the raw union.
+    policies.add_text("ship region, amount from db1.sales to L1")
+    policies.add_text(
+        "ship amount as aggregates sum, count from db2.sales to L1 group by region"
+    )
+
+    optimizer = CompliantOptimizer(catalog, policies, network)
+    result = optimizer.optimize(SQL)
+    assert not check_compliance(result.plan, optimizer.evaluator)
+    # The fragment's data leaves L2 pre-aggregated.
+    for node in result.plan.walk():
+        if isinstance(node, Ship) and node.source == "L2":
+            assert isinstance(node.child, HashAggregate)
+
+    # Ablation: drop the union rule -> false rejection.
+    from repro.optimizer.rules import AggregateJoinTranspose, JoinAssociate, JoinCommute
+
+    ablated = CompliantOptimizer(catalog, policies, network)
+    ablated._annotator.rules = [
+        JoinCommute(),
+        JoinAssociate(),
+        AggregateJoinTranspose(),
+    ]
+    with pytest.raises(NonCompliantQueryError):
+        ablated.optimize(SQL)
+
+    # And the compliant plan computes the right answer.
+    engine = ExecutionEngine(database, network, policy_guard=optimizer.evaluator)
+    expected = ExecutionEngine(database, network).execute(
+        reference_plan(normalize(Binder(catalog).bind_sql(SQL)))
+    )
+    actual = engine.execute(result.plan)
+    assert rows_as_multiset(actual.rows) == rows_as_multiset(expected.rows)
+
+
+def test_avg_blocks_union_rewrite(world):
+    catalog, _database, _network = world
+    plan = normalize(
+        Binder(catalog).bind_sql("SELECT region, AVG(amount) FROM sales GROUP BY region")
+    )
+    memo = Memo()
+    memo.register_plan(plan)
+    stats = explore(memo, [AggregateUnionTranspose()])
+    assert stats.expressions_added == 0

@@ -1,0 +1,110 @@
+"""Compliance validators must catch hand-built violations."""
+
+import pytest
+
+from repro.optimizer import check_compliance, check_compliance_strict, is_compliant, to_logical
+from repro.optimizer.validator import _grant
+from repro.plan import Field, Project, Ship, TableScan
+from repro.policy import PolicyEvaluator
+from repro.sql import Binder
+from repro.execution import reference_plan
+from repro.datatypes import DataType
+
+
+@pytest.fixture()
+def evaluator(carco):
+    return PolicyEvaluator(carco.policies)
+
+
+def scan_customer(carco, location="NorthAmerica"):
+    plan = Binder(carco.catalog).bind_sql("SELECT * FROM customer")
+    physical = reference_plan(plan.child, location)  # bare scan
+    return physical
+
+
+def test_raw_customer_ship_violates(carco, evaluator):
+    scan = scan_customer(carco)
+    ship = Ship(
+        fields=scan.fields, location="Europe", child=scan,
+        source="NorthAmerica", target="Europe",
+    )
+    violations = check_compliance(ship, evaluator)
+    assert violations
+    assert "Europe" in str(violations[0])
+    assert not is_compliant(ship, evaluator)
+
+
+def test_masked_customer_ship_compliant(carco, evaluator):
+    plan = Binder(carco.catalog).bind_sql("SELECT C.custkey, C.name FROM customer C")
+    physical = reference_plan(plan, "NorthAmerica")
+    ship = Ship(
+        fields=physical.fields, location="Europe", child=physical,
+        source="NorthAmerica", target="Europe",
+    )
+    assert is_compliant(ship, evaluator)
+    assert not check_compliance_strict(ship, evaluator)
+
+
+def test_raw_supply_ship_violates_both_checkers(carco, evaluator):
+    # P_A: only aggregated supply data may leave Asia.
+    plan = Binder(carco.catalog).bind_sql("SELECT S.ordkey, S.quantity FROM supply S")
+    raw = reference_plan(plan, "Asia")
+    ship = Ship(
+        fields=raw.fields, location="Europe", child=raw,
+        source="Asia", target="Europe",
+    )
+    assert check_compliance(ship, evaluator)
+    assert check_compliance_strict(ship, evaluator)
+
+
+def test_consumption_outside_crossing_grant_flagged(carco, evaluator):
+    """An operator consuming border-crossed data at a location outside the
+    crossing subquery's legal set violates Definition 1 (condition c2)."""
+    plan = Binder(carco.catalog).bind_sql(
+        "SELECT S.ordkey, SUM(S.quantity) AS q FROM supply S GROUP BY S.ordkey"
+    )
+    aggregated = reference_plan(plan, "Asia")  # legal to ship to Europe only
+    ship = Ship(
+        fields=aggregated.fields, location="NorthAmerica", child=aggregated,
+        source="Asia", target="NorthAmerica",
+    )
+    consumer = Project(
+        fields=aggregated.fields, location="NorthAmerica", child=ship,
+        exprs=tuple(f.to_ref() for f in aggregated.fields),
+        names=aggregated.field_names,
+    )
+    assert check_compliance(consumer, evaluator)
+    assert check_compliance_strict(consumer, evaluator)
+
+
+def test_scan_away_from_home_flagged_strict(carco, evaluator):
+    scan = scan_customer(carco, location="Asia")
+    violations = check_compliance_strict(scan, evaluator)
+    assert violations
+    assert "lives at" in str(violations[0])
+
+
+def test_to_logical_round_trip(carco, evaluator):
+    compliant_sql = "SELECT C.custkey, C.name FROM customer C WHERE C.custkey > 5"
+    logical = Binder(carco.catalog).bind_sql(compliant_sql)
+    physical = reference_plan(logical, "NorthAmerica")
+    rebuilt = to_logical(physical)
+    assert rebuilt.field_names == logical.field_names
+    assert rebuilt.source_databases == logical.source_databases
+
+
+def test_grant_empty_for_multi_db_subplans(carco, evaluator):
+    logical = Binder(carco.catalog).bind_sql(
+        "SELECT C.name, O.totprice FROM customer C, orders O WHERE C.custkey = O.custkey"
+    )
+    physical = reference_plan(logical, "Europe")
+    assert _grant(evaluator, to_logical(physical)) == frozenset()
+
+
+def test_compliant_optimizer_output_passes_both(carco):
+    from repro.optimizer import CompliantOptimizer
+
+    optimizer = CompliantOptimizer(carco.catalog, carco.policies, carco.network)
+    result = optimizer.optimize(carco.query)
+    assert not check_compliance(result.plan, optimizer.evaluator)
+    assert not check_compliance_strict(result.plan, optimizer.evaluator)

@@ -1,0 +1,132 @@
+"""Logical/physical plan node tests: schemas, provenance, printing."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, TableSchema
+from repro.datatypes import DataType
+from repro.errors import OptimizerError
+from repro.expr import (
+    AggregateCall,
+    AggregateFunction,
+    Arithmetic,
+    ArithmeticOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Literal,
+)
+from repro.plan import (
+    Field,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalUnion,
+    Ship,
+    TableScan,
+    explain_logical,
+    explain_physical,
+    ship_operators,
+)
+from repro.sql import Binder
+
+
+@pytest.fixture(scope="module")
+def plan():
+    c = Catalog()
+    c.add_database("db1", "L1")
+    c.add_database("db2", "L2")
+    c.add_table(
+        "db1",
+        TableSchema("t", (Column("a", DataType.INTEGER), Column("b", DataType.INTEGER))),
+        row_count=10,
+    )
+    c.add_table("db2", TableSchema("u", (Column("a", DataType.INTEGER),)), row_count=10)
+    return Binder(c).bind_sql(
+        "SELECT t.b, SUM(u.a) AS s FROM t, u WHERE t.a = u.a GROUP BY t.b"
+    )
+
+
+def test_fields_flow_through_operators(plan):
+    assert plan.field_names == ("b", "s")
+    agg = plan.child
+    assert isinstance(agg, LogicalAggregate)
+    assert agg.field_names == ("t.b", "$agg0")
+
+
+def test_provenance_preserved_through_project(plan):
+    field = plan.field("b")
+    assert field.base is not None
+    assert field.base.table == "t"
+    assert plan.field("s").base is None  # computed
+
+
+def test_source_databases(plan):
+    assert plan.source_databases == {"db1", "db2"}
+
+
+def test_unknown_field_raises(plan):
+    with pytest.raises(OptimizerError):
+        plan.field("zzz")
+
+
+def test_walk_covers_all_nodes(plan):
+    kinds = [type(n).__name__ for n in plan.walk()]
+    assert kinds.count("LogicalScan") == 2
+    assert "LogicalAggregate" in kinds
+
+
+def test_row_width_positive(plan):
+    assert plan.row_width > 0
+
+
+def test_explain_logical_renders_tree(plan):
+    text = explain_logical(plan)
+    assert "Project" in text and "Aggregate" in text and "Scan" in text
+    assert text.splitlines()[0].startswith("Project")
+
+
+def test_project_is_pruning_only():
+    scan = LogicalScan(
+        "t", "db1", "L1", "t",
+        (Field("t.a", DataType.INTEGER), Field("t.b", DataType.INTEGER)),
+    )
+    pruning = LogicalProject(scan, (ColumnRef("t.a", DataType.INTEGER),), ("t.a",))
+    assert pruning.is_pruning_only
+    computed = LogicalProject(
+        scan,
+        (Arithmetic(ArithmeticOp.ADD, ColumnRef("t.a", DataType.INTEGER), Literal(1, DataType.INTEGER)),),
+        ("x",),
+    )
+    assert not computed.is_pruning_only
+
+
+def test_union_drops_provenance():
+    base = Field("t.a", DataType.INTEGER, None)
+    scan1 = LogicalScan("t", "db1", "L1", "t", (Field("t.a", DataType.INTEGER, base=None),))
+    scan2 = LogicalScan("t", "db2", "L2", "t", (Field("t.a", DataType.INTEGER, base=None),))
+    union = LogicalUnion((scan1, scan2))
+    assert union.fields[0].base is None
+    assert union.field_names == ("t.a",)
+
+
+def test_explain_physical_and_ship_collection():
+    scan = TableScan(
+        fields=(Field("t.a", DataType.INTEGER),),
+        location="L1",
+        estimated_rows=10,
+        table="t",
+        database="db1",
+        alias="t",
+    )
+    ship = Ship(
+        fields=scan.fields, location="L2", estimated_rows=10,
+        child=scan, source="L1", target="L2",
+    )
+    text = explain_physical(ship, show_rows=True)
+    assert "Ship L1 -> L2 @ L2" in text
+    assert "~10 rows" in text
+    assert ship_operators(ship) == [ship]
+    assert ship.estimated_bytes == 10 * ship.row_width

@@ -1,0 +1,92 @@
+"""Lineage analysis of local subplans (the evaluator's view of a query)."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, TableSchema
+from repro.datatypes import DataType
+from repro.errors import OptimizerError
+from repro.expr import AggregateFunction, BaseColumn
+from repro.policy import describe_local_query
+from repro.sql import Binder
+
+
+@pytest.fixture(scope="module")
+def world():
+    c = Catalog()
+    c.add_database("db1", "L1")
+    c.add_table(
+        "db1",
+        TableSchema(
+            "t",
+            (
+                Column("a", DataType.INTEGER),
+                Column("b", DataType.INTEGER),
+                Column("c", DataType.INTEGER),
+            ),
+        ),
+        row_count=10,
+    )
+    c.add_table(
+        "db1",
+        TableSchema("u", (Column("a", DataType.INTEGER), Column("x", DataType.INTEGER))),
+        row_count=10,
+    )
+    c.add_database("db2", "L2")
+    c.add_table("db2", TableSchema("far", (Column("a", DataType.INTEGER),)), row_count=5)
+    return c
+
+
+def col(t, name):
+    return BaseColumn("db1", t, name)
+
+
+def describe(world, sql):
+    return describe_local_query(Binder(world).bind_sql(sql))
+
+
+def test_projection_lineage(world):
+    q = describe(world, "SELECT a, b + c AS s FROM t")
+    assert q.output_attributes == {col("t", "a"), col("t", "b"), col("t", "c")}
+    assert not q.is_aggregate
+    assert q.predicate is None
+
+
+def test_predicate_collection_through_join(world):
+    q = describe(world, "SELECT t.a FROM t, u WHERE t.a = u.a AND t.b > 5")
+    assert q.predicate is not None
+    text = str(q.predicate)
+    assert "u.a" in text and "t.b" in text
+    # Output only exposes t.a even though the join touches u.
+    assert q.output_attributes == {col("t", "a")}
+
+
+def test_aggregate_lineage_and_group_bases(world):
+    q = describe(world, "SELECT b, SUM(a * c) FROM t WHERE c < 9 GROUP BY b")
+    assert q.is_aggregate
+    assert q.group_bases == {col("t", "b")}
+    sum_lineages = q.lineages_of(col("t", "a"))
+    assert len(sum_lineages) == 1
+    assert sum_lineages[0].aggs == {AggregateFunction.SUM}
+    b_lineage = q.lineages_of(col("t", "b"))[0]
+    assert b_lineage.is_raw
+
+
+def test_count_star_exposes_nothing(world):
+    q = describe(world, "SELECT COUNT(*) FROM t")
+    assert q.is_aggregate
+    assert q.output_attributes == set()
+
+
+def test_nested_aggregation_accumulates_functions(world):
+    q = describe(
+        world,
+        "SELECT MAX(s) FROM (SELECT b, SUM(a) AS s FROM t GROUP BY b) AS x",
+    )
+    lineages = q.lineages_of(col("t", "a"))
+    assert lineages[0].aggs == {AggregateFunction.SUM, AggregateFunction.MAX}
+
+
+def test_multi_database_plan_rejected(world):
+    plan = Binder(world).bind_sql("SELECT t.a FROM t, far WHERE t.a = far.a")
+    with pytest.raises(OptimizerError):
+        describe_local_query(plan)

@@ -1,0 +1,108 @@
+"""Negative (DENY) policies compiled under the closed-world assumption."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, TableSchema
+from repro.datatypes import DataType
+from repro.errors import PolicySyntaxError
+from repro.policy import (
+    PolicyCatalog,
+    PolicyEvaluator,
+    apply_closed_world,
+    compile_negative_policies,
+    describe_local_query,
+    parse_negative,
+)
+from repro.sql import Binder
+
+
+@pytest.fixture()
+def world():
+    c = Catalog()
+    c.add_database("db1", "home")
+    for loc in ("x", "y", "z"):
+        c.add_database(f"db_{loc}", loc)
+    c.add_table(
+        "db1",
+        TableSchema(
+            "t",
+            (
+                Column("k", DataType.INTEGER),
+                Column("v", DataType.INTEGER),
+                Column("secret", DataType.VARCHAR),
+            ),
+        ),
+        row_count=10,
+    )
+    return c
+
+
+def evaluate(catalog, policies, sql):
+    plan = Binder(catalog).bind_sql(sql)
+    return PolicyEvaluator(policies).evaluate(describe_local_query(plan))
+
+
+def test_parse_negative_forms(world):
+    deny = parse_negative("deny secret from t to *", world)
+    assert deny.attributes == {"secret"}
+    assert deny.locations is None
+    star = parse_negative("deny * from t to x, y", world)
+    assert star.attributes is None
+    assert star.locations == {"x", "y"}
+    cond = parse_negative("deny v from t to x where v > 5", world)
+    assert cond.conditional
+
+
+def test_parse_negative_unknown_column(world):
+    with pytest.raises(PolicySyntaxError):
+        parse_negative("deny nosuch from t to x", world)
+
+
+def test_closed_world_compilation(world):
+    denies = [
+        parse_negative("deny secret from t to *", world),
+        parse_negative("deny v from t to z", world),
+    ]
+    compiled = compile_negative_policies(world, denies)
+    by_columns = {
+        tuple(sorted(a.column for a in e.ship_attributes)): e.destinations
+        for e in compiled
+    }
+    # k keeps every location; v loses z; secret shippable nowhere (no expr).
+    assert by_columns[("k",)] == {"home", "x", "y", "z"}
+    assert by_columns[("v",)] == {"home", "x", "y"}
+    assert ("secret",) not in by_columns
+
+
+def test_end_to_end_with_evaluator(world):
+    policies = PolicyCatalog(world)
+    apply_closed_world(
+        policies,
+        ["deny secret from t to *", "deny v from t to z"],
+    )
+    assert evaluate(world, policies, "SELECT k FROM t") == {"home", "x", "y", "z"}
+    assert evaluate(world, policies, "SELECT k, v FROM t") == {"home", "x", "y"}
+    assert evaluate(world, policies, "SELECT secret FROM t") == {"home"}
+
+
+def test_conditional_deny_is_conservative(world):
+    policies = PolicyCatalog(world)
+    apply_closed_world(policies, ["deny v from t to x where v > 5"])
+    # The row condition cannot be negated into a basic allow expression,
+    # so v loses x entirely.
+    assert "x" not in evaluate(world, policies, "SELECT v FROM t")
+    assert "y" in evaluate(world, policies, "SELECT v FROM t")
+
+
+def test_deny_everything(world):
+    policies = PolicyCatalog(world)
+    apply_closed_world(policies, ["deny * from t to *"])
+    assert evaluate(world, policies, "SELECT k, v FROM t") == {"home"}
+
+
+def test_grouping_merges_columns_with_same_destinations(world):
+    denies = [parse_negative("deny secret from t to *", world)]
+    compiled = compile_negative_policies(world, denies)
+    # k and v share the full destination set -> single expression.
+    assert len(compiled) == 1
+    assert {a.column for a in compiled[0].ship_attributes} == {"k", "v"}

@@ -1,0 +1,100 @@
+"""Exact reproduction of Table 1 of the paper (§5).
+
+Relation T(A,...,G) with policy expressions e1–e4; the algorithm must
+yield 𝒜(q1) = {l3} and 𝒜(q2) = {l1, l2} (the ``include_home=False``
+variant matches the table, which ignores T's own location)."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, TableSchema
+from repro.datatypes import DataType
+from repro.policy import PolicyCatalog, PolicyEvaluator, describe_local_query
+from repro.sql import Binder
+
+
+@pytest.fixture(scope="module")
+def world():
+    catalog = Catalog()
+    catalog.add_database("db0", "l0")  # T's home location
+    for loc in ("l1", "l2", "l3", "l4"):
+        catalog.add_database(f"db_{loc}", loc)
+    catalog.add_table(
+        "db0",
+        TableSchema("t", tuple(Column(x, DataType.INTEGER) for x in "abcdefg")),
+        row_count=100,
+    )
+    policies = PolicyCatalog(catalog)
+    policies.add_text("ship a, b, c from t to l2, l3")  # e1
+    policies.add_text("ship a, b from t to l1, l2, l3, l4")  # e2
+    policies.add_text("ship a, d from t to l1, l3 where b > 10")  # e3
+    policies.add_text(
+        "ship f, g as aggregates sum, avg from t to l1, l2 group by e, c"
+    )  # e4
+    return catalog, policies
+
+
+def evaluate(world, sql, include_home=False):
+    catalog, policies = world
+    plan = Binder(catalog).bind_sql(sql)
+    local = describe_local_query(plan)
+    return PolicyEvaluator(policies).evaluate(local, include_home=include_home)
+
+
+def test_q1_matches_paper(world):
+    # q1 = Π_{A,C,D}(σ_{B>15}(T)) — the paper's Table 1 gives {l3}.
+    assert evaluate(world, "SELECT a, c, d FROM t WHERE b > 15") == {"l3"}
+
+
+def test_q2_matches_paper(world):
+    # q2 = Γ_{C; SUM(F*(1-G))}(T) — the paper's text gives {l1, l2}.
+    assert evaluate(world, "SELECT c, SUM(f * (1 - g)) FROM t GROUP BY c") == {
+        "l1",
+        "l2",
+    }
+
+
+def test_home_location_always_included_when_requested(world):
+    result = evaluate(world, "SELECT a, c, d FROM t WHERE b > 15", include_home=True)
+    assert result == {"l0", "l3"}
+
+
+def test_q1_without_predicate_loses_e3(world):
+    # Without B > 15 the implication B > 10 fails, so D gets nothing.
+    assert evaluate(world, "SELECT a, c, d FROM t") == set()
+
+
+def test_attribute_wise_intersection(world):
+    # A alone is the most permissive attribute.
+    assert evaluate(world, "SELECT a FROM t WHERE b > 15") == {"l1", "l2", "l3", "l4"}
+    # A and C intersect to e1's destinations.
+    assert evaluate(world, "SELECT a, c FROM t") == {"l2", "l3"}
+
+
+def test_aggregate_with_wrong_function_rejected(world):
+    # MIN is not among e4's {sum, avg}.
+    assert evaluate(world, "SELECT c, MIN(f) FROM t GROUP BY c") == set()
+
+
+def test_aggregate_with_non_subset_grouping_rejected(world):
+    # Grouping by d is not covered by e4's GROUP BY e, c.
+    assert evaluate(world, "SELECT d, SUM(f) FROM t GROUP BY d") == set()
+
+
+def test_full_column_aggregate_allowed(world):
+    # Empty G_q ⊆ G_e ("includes empty subset", Algorithm 1 line 7).
+    assert evaluate(world, "SELECT SUM(f) FROM t") == {"l1", "l2"}
+
+
+def test_raw_projection_of_aggregatable_column_rejected(world):
+    # Π_F(T): F may only leave aggregated (paper Example 2's last case).
+    assert evaluate(world, "SELECT f FROM t") == set()
+
+
+def test_aggregate_query_and_basic_expression(world):
+    # Case (2) of §5: SUM(A) is "more aggregated" than e2 already allows,
+    # so A keeps e1 ∪ e2 = {l1..l4}; C gets e1 ∪ e4 = {l1, l2, l3}.
+    assert evaluate(world, "SELECT c, SUM(a) FROM t GROUP BY c") == {
+        "l1",
+        "l2",
+        "l3",
+    }

@@ -1,0 +1,138 @@
+"""Policy evaluator behaviour beyond the Table 1 reproduction."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, TableSchema
+from repro.datatypes import DataType
+from repro.policy import PolicyCatalog, PolicyEvaluator, describe_local_query
+from repro.sql import Binder
+
+
+@pytest.fixture()
+def world():
+    c = Catalog()
+    c.add_database("db1", "home")
+    for loc in ("x", "y", "z"):
+        c.add_database(f"db_{loc}", loc)
+    c.add_table(
+        "db1",
+        TableSchema(
+            "t",
+            (
+                Column("k", DataType.INTEGER),
+                Column("v", DataType.INTEGER),
+                Column("seg", DataType.VARCHAR),
+            ),
+            primary_key=("k",),
+        ),
+        row_count=100,
+    )
+    return c
+
+
+def evaluate(catalog, policies, sql, include_home=True):
+    plan = Binder(catalog).bind_sql(sql)
+    evaluator = PolicyEvaluator(policies)
+    return evaluator.evaluate(describe_local_query(plan), include_home=include_home), evaluator
+
+
+def test_no_policies_means_home_only(world):
+    policies = PolicyCatalog(world)
+    result, _ = evaluate(world, policies, "SELECT k FROM t")
+    assert result == {"home"}
+
+
+def test_conservative_default_no_grant_without_mention(world):
+    policies = PolicyCatalog(world)
+    policies.add_text("ship k from t to x")
+    result, _ = evaluate(world, policies, "SELECT k, v FROM t")
+    assert result == {"home"}  # v is never granted anywhere
+
+
+def test_union_of_expressions_per_attribute(world):
+    policies = PolicyCatalog(world)
+    policies.add_text("ship k from t to x")
+    policies.add_text("ship k from t to y")
+    result, _ = evaluate(world, policies, "SELECT k FROM t")
+    assert result == {"home", "x", "y"}
+
+
+def test_predicate_strengthening_monotone(world):
+    policies = PolicyCatalog(world)
+    policies.add_text("ship k, v from t to x where v > 10")
+    weak, _ = evaluate(world, policies, "SELECT k, v FROM t")
+    strong, _ = evaluate(world, policies, "SELECT k, v FROM t WHERE v > 20")
+    assert weak == {"home"}
+    assert strong == {"home", "x"}
+
+
+def test_aggregate_expression_does_not_cover_raw_query(world):
+    policies = PolicyCatalog(world)
+    policies.add_text("ship v as aggregates sum from t to x group by seg")
+    raw, _ = evaluate(world, policies, "SELECT v FROM t")
+    aggregated, _ = evaluate(world, policies, "SELECT seg, SUM(v) FROM t GROUP BY seg")
+    assert raw == {"home"}
+    assert aggregated == {"home", "x"}
+
+
+def test_avg_not_covered_by_sum_only_expression(world):
+    policies = PolicyCatalog(world)
+    policies.add_text("ship v as aggregates sum from t to x group by seg")
+    result, _ = evaluate(world, policies, "SELECT seg, AVG(v) FROM t GROUP BY seg")
+    assert result == {"home"}
+
+
+def test_grouping_attribute_alone_not_shippable_raw(world):
+    # seg is only a grouping attribute; a plain projection of seg is not an
+    # aggregate query, so the aggregate expression gives it nothing.
+    policies = PolicyCatalog(world)
+    policies.add_text("ship v as aggregates sum from t to x group by seg")
+    result, _ = evaluate(world, policies, "SELECT seg FROM t")
+    assert result == {"home"}
+
+
+def test_multi_table_policy_expression(world):
+    # Footnote 4: expression over a join within one database.
+    catalog = world
+    catalog.add_table(
+        "db1",
+        TableSchema("u", (Column("k", DataType.INTEGER), Column("w", DataType.INTEGER))),
+        row_count=50,
+    )
+    policies = PolicyCatalog(catalog)
+    policies.add_text(
+        "ship v, w from t, u to x where t.k = u.k"
+    )
+    matching, _ = evaluate(
+        world, policies, "SELECT t.v, u.w FROM t, u WHERE t.k = u.k"
+    )
+    assert matching == {"home", "x"}
+    # Without the join predicate the implication fails.
+    non_matching, _ = evaluate(world, policies, "SELECT t.v, u.w FROM t, u")
+    assert non_matching == {"home"}
+
+
+def test_stats_counters(world):
+    policies = PolicyCatalog(world)
+    policies.add_text("ship k from t to x")
+    policies.add_text("ship v from t to y where v > 10")
+    _, evaluator = evaluate(world, policies, "SELECT k, v FROM t WHERE v > 20")
+    stats = evaluator.stats
+    assert stats.evaluations == 1
+    assert stats.expressions_scanned == 2
+    assert stats.implication_passes == 2
+    assert stats.eta == 2
+    stats.reset()
+    assert stats.eta == 0
+
+
+def test_implication_cache_hit(world):
+    policies = PolicyCatalog(world)
+    policies.add_text("ship k from t to x where v > 10")
+    plan = Binder(world).bind_sql("SELECT k FROM t WHERE v > 20")
+    local = describe_local_query(plan)
+    evaluator = PolicyEvaluator(policies)
+    evaluator.evaluate(local)
+    evaluator.evaluate(local)
+    assert evaluator.stats.implication_checks == 2
+    assert len(evaluator._implication_cache) == 1

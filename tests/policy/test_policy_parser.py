@@ -1,0 +1,144 @@
+"""Policy expression parsing and binding tests."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, TableSchema
+from repro.datatypes import DataType
+from repro.errors import PolicySyntaxError
+from repro.expr import AggregateFunction, BaseColumn
+from repro.policy import PolicyCatalog, parse_policy
+
+
+@pytest.fixture()
+def catalog():
+    c = Catalog()
+    c.add_database("db1", "L1")
+    c.add_database("db2", "L2")
+    c.add_table(
+        "db1",
+        TableSchema(
+            "customer",
+            (
+                Column("custkey", DataType.INTEGER),
+                Column("name", DataType.VARCHAR),
+                Column("acctbal", DataType.DECIMAL),
+                Column("mktseg", DataType.VARCHAR),
+            ),
+            primary_key=("custkey",),
+        ),
+    )
+    c.add_table(
+        "db1",
+        TableSchema(
+            "orders",
+            (
+                Column("custkey", DataType.INTEGER),
+                Column("ordkey", DataType.INTEGER),
+                Column("totprice", DataType.DECIMAL),
+            ),
+        ),
+    )
+    return c
+
+
+def test_basic_expression(catalog):
+    e = parse_policy("ship custkey, name from customer to L2, L3", catalog)
+    assert e.database == "db1"
+    assert e.tables == ("customer",)
+    assert e.ship_attributes == {
+        BaseColumn("db1", "customer", "custkey"),
+        BaseColumn("db1", "customer", "name"),
+    }
+    assert e.destinations == {"L2", "L3"}
+    assert not e.is_aggregate
+
+
+def test_ship_star_expands_all_columns(catalog):
+    e = parse_policy("ship * from customer to *", catalog)
+    assert len(e.ship_attributes) == 4
+    assert e.destinations is None
+    assert e.destinations_resolved(frozenset(["L1", "L2"])) == {"L1", "L2"}
+
+
+def test_where_clause_bound_with_provenance(catalog):
+    e = parse_policy(
+        "ship name from customer to L2 where mktseg = 'commercial'", catalog
+    )
+    assert e.predicate is not None
+    refs = [r for r in e.predicate.references()]
+    assert refs == ["customer.mktseg"]
+
+
+def test_table_alias(catalog):
+    e = parse_policy("ship name from customer C to L2 where C.mktseg = 'x'", catalog)
+    assert e.predicate is not None
+
+
+def test_aggregate_expression(catalog):
+    e = parse_policy(
+        "ship acctbal as aggregates sum, avg from customer to * group by mktseg",
+        catalog,
+    )
+    assert e.is_aggregate
+    assert e.agg_functions == {AggregateFunction.SUM, AggregateFunction.AVG}
+    assert e.group_by == {BaseColumn("db1", "customer", "mktseg")}
+
+
+def test_group_by_requires_aggregates(catalog):
+    with pytest.raises(PolicySyntaxError):
+        parse_policy("ship acctbal from customer to * group by mktseg", catalog)
+
+
+def test_where_and_group_by_in_either_order(catalog):
+    e1 = parse_policy(
+        "ship acctbal as aggregates sum from customer to * "
+        "where mktseg = 'x' group by mktseg",
+        catalog,
+    )
+    e2 = parse_policy(
+        "ship acctbal as aggregates sum from customer to * "
+        "group by mktseg where mktseg = 'x'",
+        catalog,
+    )
+    assert e1.group_by == e2.group_by
+    assert e1.predicate == e2.predicate
+
+
+def test_qualified_table_name(catalog):
+    e = parse_policy("ship name from db1.customer to L2", catalog)
+    assert e.database == "db1"
+
+
+def test_multi_table_expression_needs_join_predicate(catalog):
+    with pytest.raises(PolicySyntaxError, match="join predicate"):
+        parse_policy("ship name, totprice from customer, orders to L2", catalog)
+    e = parse_policy(
+        "ship name, totprice from customer c, orders o to L2 "
+        "where c.custkey = o.custkey",
+        catalog,
+    )
+    assert set(e.tables) == {"customer", "orders"}
+    assert e.mentions(BaseColumn("db1", "orders", "totprice"))
+
+
+def test_unknown_aggregate_function(catalog):
+    with pytest.raises(PolicySyntaxError):
+        parse_policy("ship acctbal as aggregates median from customer to *", catalog)
+
+
+def test_unknown_column_raises(catalog):
+    with pytest.raises(Exception):
+        parse_policy("ship nosuch from customer to *", catalog)
+
+
+def test_catalog_registration_and_lookup(catalog):
+    policies = PolicyCatalog(catalog)
+    policies.add_text("ship custkey, name from customer to L2")
+    policies.add_text("ship totprice from orders to L2")
+    assert len(policies) == 2
+    custkey = BaseColumn("db1", "customer", "custkey")
+    assert len(policies.for_attribute(custkey)) == 1
+    assert policies.for_table("db1", "orders")
+    assert not policies.for_table("db2", "orders")
+    assert policies.all_locations == {"L1", "L2"}
+    assert len(policies.expressions) == 2

@@ -1,0 +1,88 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import TokenStream, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.text) for t in tokenize(text) if t.type != TokenType.END]
+
+
+def test_basic_tokens():
+    assert kinds("SELECT a, b FROM t") == [
+        (TokenType.IDENT, "SELECT"),
+        (TokenType.IDENT, "a"),
+        (TokenType.SYMBOL, ","),
+        (TokenType.IDENT, "b"),
+        (TokenType.IDENT, "FROM"),
+        (TokenType.IDENT, "t"),
+    ]
+
+
+def test_numbers_integer_and_decimal():
+    assert kinds("1 2.5 .75") == [
+        (TokenType.NUMBER, "1"),
+        (TokenType.NUMBER, "2.5"),
+        (TokenType.NUMBER, ".75"),
+    ]
+
+
+def test_qualified_name_not_swallowed_by_number():
+    tokens = kinds("t1.col")
+    assert tokens == [
+        (TokenType.IDENT, "t1"),
+        (TokenType.SYMBOL, "."),
+        (TokenType.IDENT, "col"),
+    ]
+
+
+def test_string_with_escaped_quote():
+    tokens = kinds("'it''s'")
+    assert tokens == [(TokenType.STRING, "it's")]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("'oops")
+
+
+def test_multichar_operators():
+    assert [t for _, t in kinds("a <= b <> c >= d != e")] == [
+        "a", "<=", "b", "<>", "c", ">=", "d", "!=", "e",
+    ]
+
+
+def test_line_comments_skipped():
+    assert kinds("a -- comment here\n b") == [
+        (TokenType.IDENT, "a"),
+        (TokenType.IDENT, "b"),
+    ]
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("a ; b")
+
+
+def test_stream_helpers():
+    stream = TokenStream(tokenize("SELECT x"))
+    assert stream.at_keyword("SELECT")
+    assert stream.accept_keyword("SELECT")
+    token = stream.expect_ident()
+    assert token.text == "x"
+    stream.expect_end()
+    assert stream.exhausted
+
+
+def test_stream_expect_errors():
+    stream = TokenStream(tokenize("a b"))
+    with pytest.raises(SqlSyntaxError):
+        stream.expect_keyword("SELECT")
+    with pytest.raises(SqlSyntaxError):
+        stream.expect_symbol("(")
+    stream.advance()
+    stream.advance()
+    with pytest.raises(SqlSyntaxError):
+        stream.expect_ident()

@@ -1,0 +1,151 @@
+"""SQL parser tests."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import parse_expression, parse_query
+from repro.sql.ast import (
+    AstAggregate,
+    AstBetween,
+    AstBinary,
+    AstColumn,
+    AstFunction,
+    AstIn,
+    AstIsNull,
+    AstLike,
+    AstLiteral,
+    AstUnary,
+    DerivedTableRef,
+    TableRef,
+)
+
+
+def test_minimal_select():
+    q = parse_query("SELECT a FROM t")
+    assert q.items[0].expr == AstColumn(None, "a")
+    assert q.from_items == (TableRef("t", None),)
+    assert q.where is None
+
+
+def test_star_select():
+    q = parse_query("SELECT * FROM t")
+    assert q.star
+
+
+def test_aliases_with_and_without_as():
+    q = parse_query("SELECT a AS x, b y FROM t AS u, s v")
+    assert q.items[0].alias == "x"
+    assert q.items[1].alias == "y"
+    assert q.from_items[0] == TableRef("t", "u")
+    assert q.from_items[1] == TableRef("s", "v")
+
+
+def test_join_on_folds_into_where():
+    q = parse_query("SELECT a FROM t JOIN s ON t.x = s.y WHERE t.z > 1")
+    assert isinstance(q.where, AstBinary) and q.where.op == "AND"
+
+
+def test_operator_precedence():
+    e = parse_expression("a + b * c")
+    assert isinstance(e, AstBinary) and e.op == "+"
+    assert isinstance(e.right, AstBinary) and e.right.op == "*"
+
+
+def test_and_or_precedence():
+    e = parse_expression("a = 1 OR b = 2 AND c = 3")
+    assert isinstance(e, AstBinary) and e.op == "OR"
+    assert isinstance(e.right, AstBinary) and e.right.op == "AND"
+
+
+def test_not_like_in_between_isnull():
+    assert parse_expression("a NOT LIKE 'x%'") == AstLike(AstColumn(None, "a"), "x%", True)
+    e = parse_expression("a NOT IN (1, 2)")
+    assert isinstance(e, AstIn) and e.negated
+    e = parse_expression("a BETWEEN 1 AND 2")
+    assert isinstance(e, AstBetween) and not e.negated
+    e = parse_expression("a IS NOT NULL")
+    assert isinstance(e, AstIsNull) and e.negated
+
+
+def test_date_literal():
+    e = parse_expression("d >= DATE '1994-01-01'")
+    assert isinstance(e, AstBinary)
+    assert e.right == AstLiteral(datetime.date(1994, 1, 1))
+
+
+def test_negative_literal_in_in_list():
+    e = parse_expression("a IN (-1, 2)")
+    assert e.values[0] == AstLiteral(-1)
+
+
+def test_aggregates_and_count_star():
+    q = parse_query("SELECT COUNT(*), SUM(a * 2), AVG(b) FROM t GROUP BY c")
+    assert q.items[0].expr == AstAggregate("COUNT", None)
+    assert isinstance(q.items[1].expr, AstAggregate)
+    assert q.group_by == (AstColumn(None, "c"),)
+
+
+def test_scalar_function_call():
+    e = parse_expression("YEAR(o_orderdate)")
+    assert e == AstFunction("YEAR", (AstColumn(None, "o_orderdate"),))
+
+
+def test_group_by_expression():
+    q = parse_query("SELECT YEAR(d) FROM t GROUP BY YEAR(d)")
+    assert q.group_by == (AstFunction("YEAR", (AstColumn(None, "d"),)),)
+
+
+def test_order_by_and_limit():
+    q = parse_query("SELECT a FROM t ORDER BY a DESC, b ASC LIMIT 5")
+    assert q.order_by[0].descending is True
+    assert q.order_by[1].descending is False
+    assert q.limit == 5
+
+
+def test_derived_table():
+    q = parse_query("SELECT x.a FROM (SELECT a FROM t GROUP BY a) AS x")
+    item = q.from_items[0]
+    assert isinstance(item, DerivedTableRef)
+    assert item.alias == "x"
+    assert item.query.group_by
+
+
+def test_having_clause():
+    q = parse_query("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2")
+    assert q.having is not None
+
+
+def test_unary_minus():
+    e = parse_expression("-a + 1")
+    assert isinstance(e, AstBinary)
+    assert e.left == AstUnary("-", AstColumn(None, "a"))
+
+
+def test_parenthesized_expression():
+    e = parse_expression("(a + b) * c")
+    assert isinstance(e, AstBinary) and e.op == "*"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "SELECT",
+        "SELECT a",
+        "SELECT a FROM",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t LIMIT x",
+        "SELECT a FROM t GROUP a",
+        "SELECT a FROM (SELECT a FROM t)",  # derived table needs alias
+        "SELECT a FROM t trailing nonsense ,",
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(SqlSyntaxError):
+        parse_query(bad)
+
+
+def test_trailing_input_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse_expression("a = 1 )")

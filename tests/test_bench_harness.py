@@ -1,0 +1,45 @@
+"""Benchmark-harness utilities."""
+
+import pytest
+
+from repro.bench import Report, TimedRun, format_table, scaled
+
+
+def test_timed_run_measures_and_averages():
+    calls = []
+    run = TimedRun.measure(lambda: calls.append(1), repetitions=5)
+    assert run.runs == 5
+    assert len(calls) == 5
+    assert run.mean_ms >= 0
+    assert "ms" in str(run)
+
+
+def test_timed_run_single_repetition_no_stdev():
+    run = TimedRun.measure(lambda: None, repetitions=1)
+    assert run.stdev_ms == 0.0
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "value"],
+        [["short", 1], ["a-much-longer-name", 22]],
+        title="My Title",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "My Title"
+    assert set(lines[1]) == {"="}
+    # All data lines share the header's column layout.
+    header = lines[2]
+    assert header.index("value") == lines[4].index("1")
+
+
+def test_report_emits_to_disk_and_stdout(tmp_path, capsys):
+    report = Report(tmp_path)
+    path = report.emit("my_experiment", "hello world")
+    assert path.read_text() == "hello world\n"
+    assert "hello world" in capsys.readouterr().out
+
+
+def test_scaled():
+    assert scaled(2.0, 1.0) == 2.0
+    assert scaled(2.0, 0.0) == 1.0  # degenerate baseline

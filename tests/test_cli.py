@@ -1,0 +1,85 @@
+"""CLI smoke tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_queries_listing(capsys):
+    assert main(["queries"]) == 0
+    out = capsys.readouterr().out
+    for name in ("Q2", "Q3", "Q5", "Q8", "Q9", "Q10"):
+        assert f"-- {name}" in out
+
+
+def test_policies_listing(capsys):
+    assert main(["policies", "--set", "CR+A"]) == 0
+    out = capsys.readouterr().out
+    assert "as aggregates sum from lineitem" in out
+
+
+def test_explain_named_query(capsys):
+    assert main(["explain", "Q3", "--set", "CR"]) == 0
+    out = capsys.readouterr().out
+    assert "TableScan" in out
+    assert "memo groups" in out
+
+
+def test_explain_with_traits(capsys):
+    assert main(["explain", "Q3", "--set", "CR+A", "--traits"]) == 0
+    out = capsys.readouterr().out
+    assert "Annotated plan" in out
+    assert "E={" in out and "S={" in out
+
+
+def test_explain_traditional_reports_compliance(capsys):
+    assert main(["explain", "Q3", "--set", "CR", "--traditional"]) == 0
+    out = capsys.readouterr().out
+    assert "compliant under set CR: False" in out
+    assert "violation:" in out
+
+
+def test_explain_rejected_query_exit_code(capsys):
+    code = main(
+        [
+            "explain",
+            "SELECT o_comment, c_name FROM orders, customer "
+            "WHERE o_custkey = c_custkey AND c_nationkey = 3",
+            "--set",
+            "T",
+            "--result-location",
+            "Asia",
+        ]
+    )
+    assert code == 2
+    assert "REJECTED" in capsys.readouterr().err
+
+
+def test_audit_command(capsys):
+    assert main(
+        ["audit", "SELECT l_orderkey, l_extendedprice FROM lineitem", "--set", "CR+A"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "NorthAmerica  ALLOWED" in out.replace("   ", " ").replace("  ", " ") or "ALLOWED" in out
+
+
+def test_run_small_query(capsys):
+    assert main(
+        [
+            "run",
+            "SELECT n_name, COUNT(*) AS cnt FROM nation, region "
+            "WHERE n_regionkey = r_regionkey AND r_name = 'EUROPE' GROUP BY n_name",
+            "--scale",
+            "0.001",
+            "--limit",
+            "3",
+        ]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "n_name" in captured.out
+    assert "shipped across borders" in captured.err
+
+
+def test_invalid_sql_exit_code(capsys):
+    assert main(["explain", "SELEKT broken"]) == 1
+    assert "error:" in capsys.readouterr().err

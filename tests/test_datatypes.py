@@ -1,0 +1,75 @@
+"""Type-system unit tests."""
+
+import datetime
+
+import pytest
+
+from repro.datatypes import (
+    DataType,
+    arithmetic_result_type,
+    default_width,
+    is_comparable,
+    is_numeric,
+    parse_date,
+    value_matches,
+)
+
+
+def test_default_widths_positive():
+    for dtype in DataType:
+        assert default_width(dtype) > 0
+
+
+def test_numeric_classification():
+    assert is_numeric(DataType.INTEGER)
+    assert is_numeric(DataType.DECIMAL)
+    assert not is_numeric(DataType.VARCHAR)
+    assert not is_numeric(DataType.DATE)
+
+
+def test_comparability():
+    assert is_comparable(DataType.INTEGER, DataType.DECIMAL)
+    assert is_comparable(DataType.DATE, DataType.DATE)
+    assert not is_comparable(DataType.DATE, DataType.INTEGER)
+    assert not is_comparable(DataType.VARCHAR, DataType.INTEGER)
+
+
+@pytest.mark.parametrize(
+    "dtype,good,bad",
+    [
+        (DataType.INTEGER, 5, "x"),
+        (DataType.DECIMAL, 1.5, "x"),
+        (DataType.DECIMAL, 3, None),  # ints are valid decimals
+        (DataType.VARCHAR, "s", 1),
+        (DataType.DATE, datetime.date(2020, 1, 1), "2020-01-01"),
+        (DataType.BOOLEAN, True, 1),
+    ],
+)
+def test_value_matches(dtype, good, bad):
+    assert value_matches(dtype, good)
+    if bad is not None:
+        assert not value_matches(dtype, bad)
+
+
+def test_null_matches_everything():
+    for dtype in DataType:
+        assert value_matches(dtype, None)
+
+
+def test_bool_is_not_a_number():
+    assert not value_matches(DataType.INTEGER, True)
+
+
+def test_datetime_is_not_a_sql_date():
+    assert not value_matches(DataType.DATE, datetime.datetime(2020, 1, 1, 12))
+
+
+def test_arithmetic_result_type():
+    assert arithmetic_result_type(DataType.INTEGER, DataType.INTEGER) == DataType.INTEGER
+    assert arithmetic_result_type(DataType.INTEGER, DataType.DECIMAL) == DataType.DECIMAL
+
+
+def test_parse_date():
+    assert parse_date("1995-03-15") == datetime.date(1995, 3, 15)
+    with pytest.raises(ValueError):
+        parse_date("not-a-date")

@@ -1,0 +1,110 @@
+"""Smoke tests of the experiment functions behind the benchmarks, at
+miniature configurations — so `pytest tests/` exercises the harness code
+paths without the benchmarks' runtimes."""
+
+import pytest
+
+from repro.bench import (
+    effectiveness_adhoc,
+    effectiveness_tpch,
+    fragmented_policies,
+    minimal_policies,
+    optimization_overhead,
+    plan_quality,
+    scalability_expressions,
+    scalability_fragments,
+    scalability_policy_locations,
+)
+from repro.tpch import build_catalog, default_network
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(scale=1.0)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return default_network()
+
+
+def test_minimal_policies_cover_all_tables(catalog):
+    policies = minimal_policies(catalog)
+    assert len(policies) == 8
+
+
+def test_effectiveness_tpch_small(catalog, network):
+    matrix = effectiveness_tpch(
+        catalog, network, set_names=("T",), query_names=("Q3", "Q10")
+    )
+    assert matrix.cells["T"]["Q3"] == ("C", "C")
+    assert "Q3" in matrix.table()
+
+
+def test_effectiveness_adhoc_small(catalog, network):
+    result = effectiveness_adhoc(
+        catalog,
+        network,
+        queries_per_set=4,
+        expression_counts={"CR": 12},
+        max_expressions=1500,
+    )
+    n, _trad, comp = result.per_set["CR"]
+    assert n == 4
+    assert comp == 4  # hub coverage guarantees success
+    assert "CR" in result.table()
+
+
+def test_overhead_small(catalog, network):
+    result = optimization_overhead(
+        catalog,
+        network,
+        minimal_policies(catalog),
+        label="smoke",
+        query_names=("Q3",),
+        repetitions=2,
+    )
+    assert result.per_query["Q3"][0].runs == 2
+    assert result.overhead_factor("Q3") > 0
+    assert "Q3" in result.table()
+
+
+def test_plan_quality_small():
+    result = plan_quality("CR", scale=0.002, query_names=("Q3",))
+    row = result.row("Q3")
+    assert row.traditional_label == "NC"
+    assert row.compliant_cost > 0
+    assert "Q3" in result.table()
+
+
+def test_scalability_expressions_small(catalog, network):
+    result = scalability_expressions(
+        catalog, network, "Q3", counts=(12, 25), repetitions=1
+    )
+    assert len(result.points) == 2
+    assert all(eta >= 0 for _n, _t, eta in result.points)
+    assert "Q3" in result.table()
+
+
+def test_scalability_fragments_small():
+    result = scalability_fragments("Q3", location_counts=(1, 2), repetitions=1)
+    assert len(result.points) == 2
+    assert "fragmented" in result.table()
+
+
+def test_scalability_policy_locations_small():
+    result = scalability_policy_locations("Q3", location_counts=(3, 5), repetitions=1)
+    assert len(result.points) == 2
+    assert result.points[0][2] >= 0  # phase-2 milliseconds
+    assert "Q3" in result.table()
+
+
+def test_fragmented_policies_cover_each_fragment():
+    catalog = build_catalog(scale=0.01, fragmented=("customer",), fragment_locations=3)
+    policies = fragmented_policies(catalog)
+    customer_expressions = [
+        e
+        for db in ("db1", "db2", "db3")
+        for e in policies.for_table(db, "customer")
+    ]
+    assert len(customer_expressions) == 3

@@ -1,0 +1,115 @@
+"""TPC-H substrate: generator determinism, distribution, query binding."""
+
+import pytest
+
+from repro.sql import Binder
+from repro.tpch import (
+    JOIN_COMPLEXITY,
+    LOCATIONS,
+    QUERIES,
+    TABLE_PLACEMENT,
+    TpchGenerator,
+    build_benchmark,
+    build_catalog,
+    home_database,
+    row_count,
+)
+
+
+class TestDataGenerator:
+    def test_fixed_tables(self):
+        gen = TpchGenerator(scale=0.001)
+        assert len(list(gen.region())) == 5
+        assert len(list(gen.nation())) == 25
+
+    def test_scaled_counts(self):
+        gen = TpchGenerator(scale=0.01)
+        assert len(list(gen.customer())) == 1500
+        assert len(list(gen.orders())) == 15000
+
+    def test_determinism(self):
+        a = list(TpchGenerator(scale=0.001, seed=5).customer())
+        b = list(TpchGenerator(scale=0.001, seed=5).customer())
+        assert a == b
+        c = list(TpchGenerator(scale=0.001, seed=6).customer())
+        assert a != c
+
+    def test_referential_integrity(self):
+        gen = TpchGenerator(scale=0.001)
+        nations = {r[0] for r in gen.nation()}
+        customers = list(gen.customer())
+        assert {c[3] for c in customers} <= nations
+        orders = list(gen.orders())
+        custkeys = {c[0] for c in customers}
+        assert {o[1] for o in orders} <= custkeys
+        order_dates = {o[0]: o[4] for o in orders}
+        for li in gen.lineitem():
+            assert li[0] in order_dates
+            assert li[10] > order_dates[li[0]]  # shipdate after orderdate
+
+    def test_part_types_cover_paper_vocabulary(self):
+        gen = TpchGenerator(scale=0.01)
+        types = {p[4] for p in gen.part()}
+        assert any("COPPER" in t for t in types)
+        assert any("BRASS" in t for t in types)
+
+
+class TestDistribution:
+    def test_table_2_placement(self):
+        catalog = build_catalog(scale=0.01)
+        assert catalog.locations == list(LOCATIONS)
+        for db, (location, tables) in TABLE_PLACEMENT.items():
+            for table in tables:
+                stored = catalog.stored_table(db, table)
+                assert stored.location == location
+
+    def test_home_database(self):
+        assert home_database("lineitem") == "db4"
+        assert home_database("nation") == "db5"
+        with pytest.raises(KeyError):
+            home_database("nope")
+
+    def test_fk_distinct_counts_synthesized(self):
+        catalog = build_catalog(scale=1.0)
+        lineitem = catalog.stored_table("db4", "lineitem")
+        assert lineitem.stats.columns["l_partkey"].distinct_count == row_count("part", 1.0)
+        assert lineitem.stats.columns["l_suppkey"].distinct_count == row_count("supplier", 1.0)
+
+    def test_fragmented_tables(self):
+        catalog = build_catalog(scale=0.01, fragmented=("customer",), fragment_locations=3)
+        table = catalog.table("customer")
+        assert table.is_fragmented
+        assert len(table.fragments) == 3
+        assert {f.location for f in table.fragments} == set(LOCATIONS[:3])
+
+    def test_build_benchmark_loads_all_tables(self):
+        catalog, database = build_benchmark(scale=0.001)
+        for db, (_loc, tables) in TABLE_PLACEMENT.items():
+            for table in tables:
+                assert database.row_count(db, table) > 0
+        # Stats became exact.
+        assert catalog.stored_table("db1", "customer").stats.row_count == 150
+
+    def test_fragmented_benchmark_round_robin(self):
+        catalog, database = build_benchmark(
+            scale=0.001, fragmented=("customer",), fragment_locations=5
+        )
+        total = sum(database.row_count(f"db{i}", "customer") for i in range(1, 6))
+        assert total == 150
+
+
+class TestQueries:
+    @pytest.mark.parametrize("name", list(QUERIES))
+    def test_all_queries_bind(self, name, tpch_stats_catalog):
+        plan = Binder(tpch_stats_catalog).bind_sql(QUERIES[name])
+        assert plan.fields
+
+    def test_join_complexity_labels(self):
+        assert JOIN_COMPLEXITY["Q2"] > JOIN_COMPLEXITY["Q8"] > JOIN_COMPLEXITY["Q3"]
+
+    def test_q2_has_derived_table_block(self, tpch_stats_catalog):
+        from repro.plan import LogicalAggregate
+
+        plan = Binder(tpch_stats_catalog).bind_sql(QUERIES["Q2"])
+        aggregates = [n for n in plan.walk() if isinstance(n, LogicalAggregate)]
+        assert aggregates  # the MIN(ps_supplycost) block
