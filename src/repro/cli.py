@@ -8,6 +8,8 @@ curated policy sets, and both optimizers:
     python -m repro explain  "SELECT ..."  [--set CR] [--traditional]
                                            [--traits] [--result-location L]
     python -m repro run      "SELECT ..."  [--set CR] [--scale 0.005]
+                                           [--parallel] [--workers N]
+                                           [--explain-fragments]
     python -m repro audit    "SELECT ..."  [--set CR]
     python -m repro policies [--set CR]
     python -m repro queries                      # the six TPC-H queries
@@ -22,7 +24,7 @@ import argparse
 import sys
 
 from .errors import NonCompliantQueryError, ReproError
-from .execution import ExecutionEngine
+from .execution import ExecutionEngine, explain_fragments, fragment_plan
 from .optimizer import (
     CompliantOptimizer,
     TraditionalOptimizer,
@@ -83,6 +85,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=0.005, help="TPC-H data scale (default 0.005)"
     )
     run.add_argument("--limit", type=int, default=20, help="print at most N rows")
+    run.add_argument(
+        "--parallel",
+        action="store_true",
+        help="execute plan fragments concurrently and report the simulated "
+        "critical-path makespan alongside the shipping-time sum",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread-pool size for --parallel (default: min(8, #cores))",
+    )
+    run.add_argument(
+        "--explain-fragments",
+        action="store_true",
+        help="print the per-site fragment DAG (and, with --parallel, "
+        "per-fragment simulated timings) before the rows",
+    )
 
     audit = sub.add_parser(
         "audit", help="legal shipping destinations of a (single-database) query"
@@ -133,8 +153,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     policy_catalog = curated_policies(catalog, args.policy_set)
     optimizer = CompliantOptimizer(catalog, policy_catalog, network)
     result = optimizer.optimize(_resolve_sql(args.query))
+    if args.explain_fragments:
+        print(explain_fragments(fragment_plan(result.plan)))
+        print()
     engine = ExecutionEngine(
-        database, network, policy_guard=optimizer.evaluator
+        database,
+        network,
+        policy_guard=optimizer.evaluator,
+        parallel=args.parallel,
+        max_workers=args.workers,
     )
     output = engine.execute(result.plan)
     print("\t".join(output.columns))
@@ -142,12 +169,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("\t".join(str(v) for v in row))
     if len(output.rows) > args.limit:
         print(f"... ({len(output.rows)} rows total)")
-    print(
+    summary = (
         f"\n{output.metrics.total_rows_shipped} rows / "
         f"{output.metrics.total_bytes_shipped} bytes shipped across borders "
-        f"({output.simulated_cost:.3f} s simulated transfer time)",
-        file=sys.stderr,
+        f"({output.simulated_cost:.3f} s simulated transfer time)"
     )
+    if args.parallel:
+        summary += f"; {output.makespan_seconds:.3f} s simulated makespan"
+    print(summary, file=sys.stderr)
+    if args.explain_fragments and args.parallel:
+        print("\nfragment timings (simulated WAN clock):", file=sys.stderr)
+        for record in output.metrics.fragments:
+            print(
+                f"  f{record.index} @ {record.location:14s} "
+                f"rows={record.rows_out:<8d} "
+                f"compute={record.compute_seconds * 1e3:7.1f} ms  "
+                f"sim [{record.sim_start_seconds:.3f}s "
+                f"-> {record.sim_finish_seconds:.3f}s]",
+                file=sys.stderr,
+            )
     return 0
 
 

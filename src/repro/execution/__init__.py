@@ -1,15 +1,38 @@
 """Physical plan execution over geo-distributed in-memory data."""
 
-from .metrics import ExecutionMetrics, ShipRecord
+from .metrics import (
+    ExecutionMetrics,
+    FragmentRecord,
+    OperatorRecord,
+    ShipRecord,
+)
 from .operators import OperatorExecutor, actual_bytes
+from .fragments import (
+    Fragment,
+    FragmentDAG,
+    FragmentInput,
+    explain_fragments,
+    fragment_plan,
+    independent_pairs,
+)
+from .scheduler import FragmentScheduler
 from .engine import ExecutionEngine, ExecutionResult
 from .reference import reference_plan
 
 __all__ = [
     "ExecutionMetrics",
+    "FragmentRecord",
+    "OperatorRecord",
     "ShipRecord",
     "OperatorExecutor",
     "actual_bytes",
+    "Fragment",
+    "FragmentDAG",
+    "FragmentInput",
+    "explain_fragments",
+    "fragment_plan",
+    "independent_pairs",
+    "FragmentScheduler",
     "ExecutionEngine",
     "ExecutionResult",
     "reference_plan",

@@ -7,6 +7,16 @@ as the last line of defense (paper Figure 2's query executor only runs
 plans the optimizer accepted; here we additionally *verify*): a plan that
 would ship restricted data is refused with
 :class:`~repro.errors.ComplianceViolationError` before any data moves.
+
+Two execution modes produce row-identical results:
+
+* **sequential** (default) — one thread evaluates the whole tree
+  depth-first; cost is reported as the sum of SHIP transfer times.
+* **parallel** (``parallel=True``) — the plan is cut at SHIP boundaries
+  into per-site fragments (:mod:`repro.execution.fragments`) which run
+  concurrently on a thread pool while an event-driven simulation
+  computes ``makespan_seconds``, the critical-path response time under
+  the ``α + β·bytes`` model (:mod:`repro.execution.scheduler`).
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from ..plan import PhysicalPlan
 from ..policy import PolicyEvaluator
 from .metrics import ExecutionMetrics
 from .operators import OperatorExecutor
+from .scheduler import FragmentScheduler
 
 
 @dataclass
@@ -45,6 +56,12 @@ class ExecutionResult:
         time of all SHIPs under the α + β·bytes model."""
         return self.metrics.shipping_seconds
 
+    @property
+    def makespan_seconds(self) -> float:
+        """Simulated critical-path response time (fragment-parallel
+        execution only; 0.0 after a sequential run)."""
+        return self.metrics.makespan_seconds
+
 
 class ExecutionEngine:
     """Executes physical plans over geo-distributed in-memory data."""
@@ -54,14 +71,23 @@ class ExecutionEngine:
         database: GeoDatabase,
         network: NetworkModel | None = None,
         policy_guard: PolicyEvaluator | None = None,
+        parallel: bool = False,
+        max_workers: int | None = None,
     ) -> None:
         self.database = database
         self.network = network or synthetic_network(database.catalog.locations)
         self.policy_guard = policy_guard
+        self.parallel = parallel
+        self.max_workers = max_workers
 
-    def execute(self, plan: PhysicalPlan) -> ExecutionResult:
+    def execute(
+        self, plan: PhysicalPlan, parallel: bool | None = None
+    ) -> ExecutionResult:
         """Run ``plan``; raises :class:`ComplianceViolationError` when a
-        policy guard is installed and the plan is non-compliant."""
+        policy guard is installed and the plan is non-compliant.
+
+        ``parallel`` overrides the engine-level default for one call.
+        """
         if self.policy_guard is not None:
             from ..optimizer.validator import check_compliance
 
@@ -71,10 +97,17 @@ class ExecutionEngine:
                 raise ComplianceViolationError(
                     f"refusing to execute non-compliant plan: {details}"
                 )
-        metrics = ExecutionMetrics()
-        executor = OperatorExecutor(self.database, self.network, metrics)
+        use_parallel = self.parallel if parallel is None else parallel
         start = time.perf_counter()
-        columns, rows = executor.run(plan)
+        if use_parallel:
+            scheduler = FragmentScheduler(
+                self.database, self.network, max_workers=self.max_workers
+            )
+            (columns, rows), metrics = scheduler.run(plan)
+        else:
+            metrics = ExecutionMetrics()
+            executor = OperatorExecutor(self.database, self.network, metrics)
+            columns, rows = executor.run(plan)
         elapsed = time.perf_counter() - start
         metrics.rows_output = len(rows)
         return ExecutionResult(

@@ -5,6 +5,25 @@ arising from shipping intermediate data between sites under the
 ``α + β·bytes`` message model.  The executor records every SHIP's actual
 row count and byte volume so the harness can compute that cost from a
 real execution rather than from estimates.
+
+Two cost views coexist:
+
+* :attr:`ExecutionMetrics.shipping_seconds` — the plain *sum* of all
+  simulated transfer times.  Faithful for chain (linear) plans, but an
+  overestimate of response time for bushy plans where sites transfer
+  concurrently.
+* :attr:`ExecutionMetrics.makespan_seconds` — the critical-path response
+  time produced by the fragment scheduler's event-driven simulation
+  (:mod:`repro.execution.scheduler`): fragments start once all their
+  inputs have arrived, and independent transfers overlap.  Always
+  ``makespan_seconds <= shipping_seconds``; equality holds exactly when
+  every SHIP lies on one path (a chain plan).
+
+As an observability hook the executor additionally records one
+:class:`OperatorRecord` per evaluated operator (rows out, self compute
+time) and — when the fragment scheduler runs — one
+:class:`FragmentRecord` per fragment (measured local compute plus the
+simulated start/finish instants on the WAN clock).
 """
 
 from __future__ import annotations
@@ -26,6 +45,46 @@ class ShipRecord:
 
 
 @dataclass
+class OperatorRecord:
+    """One operator evaluation (observability hook).
+
+    ``seconds`` is *self* time: wall-clock spent in the operator itself,
+    excluding its children — so the records sum to the plan's total
+    local compute time.
+    """
+
+    operator: str
+    location: str
+    rows_out: int
+    seconds: float
+
+
+@dataclass
+class FragmentRecord:
+    """One fragment execution under the parallel scheduler.
+
+    ``compute_seconds`` is measured wall-clock work; the ``sim_*``
+    instants live on the simulated WAN clock, where local compute is
+    free (the paper's cost model charges transfers only):
+    ``sim_start_seconds`` is when the last input transfer arrived at the
+    fragment's site and ``sim_finish_seconds`` is when the fragment's
+    output transfer has been delivered to its consumer (equal to
+    ``sim_start_seconds`` for the result-producing root fragment).
+    """
+
+    index: int
+    location: str
+    root: str  # describe() of the fragment's root operator
+    operators: int
+    rows_out: int
+    compute_seconds: float
+    sim_start_seconds: float
+    sim_finish_seconds: float
+    inputs: tuple[int, ...]
+    consumer: int | None
+
+
+@dataclass
 class ExecutionMetrics:
     """Metrics of one plan execution."""
 
@@ -33,6 +92,14 @@ class ExecutionMetrics:
     rows_output: int = 0
     operators_executed: int = 0
     ships: list[ShipRecord] = field(default_factory=list)
+    operators: list[OperatorRecord] = field(default_factory=list)
+    fragments: list[FragmentRecord] = field(default_factory=list)
+    #: Simulated critical-path response time; only populated by the
+    #: fragment scheduler (``ExecutionEngine(..., parallel=True)``).
+    makespan_seconds: float = 0.0
+    #: Per-site simulated clock after the last delivery event at that
+    #: site (fragment scheduler only).
+    site_clock_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_bytes_shipped(self) -> int:
@@ -45,11 +112,32 @@ class ExecutionMetrics:
     @property
     def shipping_seconds(self) -> float:
         """Total simulated cross-site transfer time — the paper's
-        execution-cost metric."""
+        execution-cost metric (an upper bound on response time)."""
         return sum(s.seconds for s in self.ships)
+
+    @property
+    def local_compute_seconds(self) -> float:
+        """Measured wall-clock compute, summed over fragments when the
+        scheduler ran, else over per-operator self times."""
+        if self.fragments:
+            return sum(f.compute_seconds for f in self.fragments)
+        return sum(op.seconds for op in self.operators)
 
     def record_ship(
         self, network: NetworkModel, source: str, target: str, rows: int, nbytes: int
     ) -> None:
         seconds = network.transfer_time(source, target, nbytes)
         self.ships.append(ShipRecord(source, target, rows, nbytes, seconds))
+
+    def record_operator(
+        self, operator: str, location: str, rows_out: int, seconds: float
+    ) -> None:
+        self.operators.append(OperatorRecord(operator, location, rows_out, seconds))
+
+    def absorb(self, other: "ExecutionMetrics") -> None:
+        """Fold one fragment's private metrics into this plan-level
+        object (the scheduler merges in deterministic fragment order)."""
+        self.rows_scanned += other.rows_scanned
+        self.operators_executed += other.operators_executed
+        self.ships.extend(other.ships)
+        self.operators.extend(other.operators)

@@ -9,6 +9,7 @@ it counts rows/bytes and charges simulated transfer time to the metrics.
 from __future__ import annotations
 
 import datetime
+import time
 from typing import Any, Callable, Sequence
 
 from ..errors import ExecutionError
@@ -33,7 +34,13 @@ Result = tuple[list[str], list[Row]]  # (column names, rows)
 
 
 def actual_bytes(rows: Sequence[Row]) -> int:
-    """Measured wire size of a row batch (what a SHIP actually transfers)."""
+    """Measured wire size of a row batch (what a SHIP actually transfers).
+
+    The ``datetime.datetime`` check must precede the ``datetime.date``
+    one (it is a subclass): a timestamp carries a time-of-day and bills
+    the full 8 bytes, a plain date only 4.  Likewise ``bool`` precedes
+    ``int``.
+    """
     total = 0
     for row in rows:
         for value in row:
@@ -45,6 +52,8 @@ def actual_bytes(rows: Sequence[Row]) -> int:
                 total += 8
             elif isinstance(value, str):
                 total += len(value)
+            elif isinstance(value, datetime.datetime):
+                total += 8
             elif isinstance(value, datetime.date):
                 total += 4
             else:
@@ -53,7 +62,12 @@ def actual_bytes(rows: Sequence[Row]) -> int:
 
 
 class OperatorExecutor:
-    """Recursive evaluator for located physical plans."""
+    """Recursive evaluator for located physical plans.
+
+    Every evaluated operator leaves an :class:`OperatorRecord` in the
+    metrics (rows out plus *self* wall-clock time, children excluded) so
+    fragment- and plan-level compute can be attributed precisely.
+    """
 
     def __init__(
         self,
@@ -64,9 +78,23 @@ class OperatorExecutor:
         self.database = database
         self.network = network
         self.metrics = metrics
+        self._child_seconds: list[float] = []
 
     def run(self, node: PhysicalPlan) -> Result:
         self.metrics.operators_executed += 1
+        start = time.perf_counter()
+        self._child_seconds.append(0.0)
+        columns, rows = self._dispatch(node)
+        elapsed = time.perf_counter() - start
+        child_seconds = self._child_seconds.pop()
+        if self._child_seconds:
+            self._child_seconds[-1] += elapsed
+        self.metrics.record_operator(
+            node.describe(), node.location, len(rows), elapsed - child_seconds
+        )
+        return columns, rows
+
+    def _dispatch(self, node: PhysicalPlan) -> Result:
         if isinstance(node, TableScan):
             return self._scan(node)
         if isinstance(node, Filter):

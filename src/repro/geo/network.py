@@ -40,6 +40,11 @@ class NetworkModel:
     def set_link(self, src: str, dst: str, alpha: float, beta: float) -> None:
         self._links[(src, dst)] = LinkCost(alpha, beta)
 
+    def has_link(self, src: str, dst: str) -> bool:
+        """Whether ``(src, dst)`` is explicitly modeled (as opposed to
+        falling back to the pessimistic default link)."""
+        return (src, dst) in self._links
+
     def link(self, src: str, dst: str) -> LinkCost:
         if src == dst:
             return LinkCost(0.0, 0.0)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from .logical import LogicalPlan
 from .physical import PhysicalPlan
@@ -21,12 +21,27 @@ def explain_logical(plan: LogicalPlan, indent: int = 0) -> str:
     return "\n".join(lines)
 
 
-def explain_physical(plan: PhysicalPlan, show_rows: bool = False) -> str:
+def explain_physical(
+    plan: PhysicalPlan,
+    show_rows: bool = False,
+    prune: Callable[[PhysicalPlan], str | None] | None = None,
+) -> str:
     """Render a located physical plan, one operator per line, annotated
-    with its execution location (and optionally the row estimate)."""
+    with its execution location (and optionally the row estimate).
+
+    ``prune`` lets callers cut the rendering at chosen subtrees: when it
+    returns a string for a node, that line is printed in place of the
+    node and its subtree (used by fragment-level EXPLAIN to show cut
+    SHIP edges as references to the producing fragment).
+    """
     lines: list[str] = []
 
     def recurse(node: PhysicalPlan, depth: int) -> None:
+        if prune is not None:
+            replacement = prune(node)
+            if replacement is not None:
+                lines.append("  " * depth + replacement)
+                return
         annotation = f" @ {node.location}"
         if show_rows:
             annotation += f" (~{node.estimated_rows:.0f} rows)"

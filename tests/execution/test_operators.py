@@ -153,6 +153,47 @@ def test_actual_bytes_by_type():
     assert actual_bytes(rows) == 8 + 8 + 3 + 4 + 1 + 1
 
 
+class TestActualBytesBranches:
+    """One direct assertion per branch of the wire-size accounting."""
+
+    def test_none_is_one_byte(self):
+        assert actual_bytes([(None,)]) == 1
+
+    def test_bool_is_one_byte_despite_being_an_int(self):
+        assert isinstance(True, int)  # the trap the branch order avoids
+        assert actual_bytes([(True,), (False,)]) == 2
+
+    def test_int_is_eight_bytes(self):
+        assert actual_bytes([(0,)]) == 8
+        assert actual_bytes([(2**40,)]) == 8
+
+    def test_float_is_eight_bytes(self):
+        assert actual_bytes([(3.25,)]) == 8
+
+    def test_str_is_its_length(self):
+        assert actual_bytes([("",)]) == 0
+        assert actual_bytes([("hello",)]) == 5
+
+    def test_datetime_is_eight_bytes_despite_being_a_date(self):
+        import datetime
+
+        ts = datetime.datetime(2020, 1, 1, 12, 30, 0)
+        assert isinstance(ts, datetime.date)  # the subclass trap
+        assert actual_bytes([(ts,)]) == 8
+
+    def test_date_is_four_bytes(self):
+        import datetime
+
+        assert actual_bytes([(datetime.date(2020, 1, 1),)]) == 4
+
+    def test_unknown_object_is_eight_bytes(self):
+        assert actual_bytes([(object(),)]) == 8
+
+    def test_sums_over_rows_and_columns(self):
+        rows = [(1, "ab"), (None, "c")]
+        assert actual_bytes(rows) == (8 + 2) + (1 + 1)
+
+
 def test_policy_guard_refuses_noncompliant(world):
     catalog, engine = world
     policies = PolicyCatalog(catalog)  # nothing may ship anywhere

@@ -1,0 +1,98 @@
+"""Property tests for :func:`repro.geo.synthetic_network`.
+
+The docstring promises a *metric* WAN: positions on the unit circle,
+costs affine in euclidean distance with positive bases.  Two documented
+consequences are load-bearing for the optimizer:
+
+* **Triangle inequality** — relaying ``a -> b -> c`` never beats the
+  direct ``a -> c`` link, for any payload size.  Otherwise the site
+  selector would produce degenerate relay plans and the makespan
+  simulation would reward artificial ships.
+* **Symmetry of existence** — whenever ``(a, b)`` is explicitly
+  modeled, so is ``(b, a)`` (and with equal cost: positions do not
+  depend on direction), for *all* location pairs.
+
+Hypothesis drives both over random location-name sets, so the
+guarantees hold for arbitrary deployments, not just the curated TPC-H
+locations.  The pessimistic-default fallback for unmodeled pairs is
+unit-tested exactly.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import LinkCost, NetworkModel, synthetic_network
+
+location_names = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=2,
+    max_size=6,
+    unique=True,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(locations=location_names, nbytes=st.integers(min_value=0, max_value=10**9))
+def test_triangle_inequality_for_any_payload(locations, nbytes):
+    network = synthetic_network(locations)
+    for a, b, c in itertools.permutations(locations, 3):
+        direct = network.transfer_time(a, c, nbytes)
+        relayed = network.transfer_time(a, b, nbytes) + network.transfer_time(
+            b, c, nbytes
+        )
+        assert direct <= relayed + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(locations=location_names)
+def test_symmetry_of_existence_and_cost(locations):
+    network = synthetic_network(locations)
+    for a, b in itertools.permutations(locations, 2):
+        assert network.has_link(a, b)
+        assert network.has_link(b, a)
+        assert network.link(a, b) == network.link(b, a)
+    for name in locations:
+        assert not network.has_link(name, name)  # local is the free fast path
+
+
+@settings(max_examples=60, deadline=None)
+@given(locations=location_names)
+def test_every_cross_pair_costs_more_than_local(locations):
+    network = synthetic_network(locations)
+    for a, b in itertools.permutations(locations, 2):
+        cost = network.link(a, b)
+        assert cost.alpha > 0
+        assert cost.beta > 0
+        assert network.transfer_time(a, b, 1) > network.transfer_time(a, a, 1)
+
+
+class TestPessimisticDefault:
+    """Unknown pairs must not get a free ride over unmodeled links."""
+
+    def test_unknown_pair_uses_documented_default(self):
+        network = NetworkModel()
+        assert not network.has_link("X", "Y")
+        assert network.link("X", "Y") == LinkCost(alpha=0.5, beta=2e-7)
+
+    def test_default_is_worse_than_synthetic_links(self):
+        network = synthetic_network(["A", "B"])
+        default = NetworkModel().link("X", "Y")
+        modeled = network.link("A", "B")
+        assert default.alpha >= modeled.alpha
+
+    def test_default_transfer_time_is_affine_in_bytes(self):
+        network = NetworkModel()
+        assert network.transfer_time("X", "Y", 0) == pytest.approx(0.5)
+        assert network.transfer_time("X", "Y", 10**7) == pytest.approx(0.5 + 2.0)
+
+    def test_same_site_bypasses_default_and_links(self):
+        network = NetworkModel()
+        network.set_link("A", "A", alpha=99.0, beta=1.0)  # must be ignored
+        assert network.link("A", "A") == LinkCost(0.0, 0.0)
+        assert network.transfer_time("A", "A", 10**9) == 0.0
