@@ -10,12 +10,17 @@ curated policy sets, and both optimizers:
     python -m repro run      "SELECT ..."  [--set CR] [--scale 0.005]
                                            [--parallel] [--workers N]
                                            [--explain-fragments]
+                                           [--faults SPEC] [--retries N]
+                                           [--fragment-timeout S]
     python -m repro audit    "SELECT ..."  [--set CR]
     python -m repro policies [--set CR]
     python -m repro queries                      # the six TPC-H queries
 
 Named queries (``Q2``, ``Q3``, ``Q5``, ``Q8``, ``Q9``, ``Q10``) may be
 used in place of SQL text.
+
+Exit codes: 0 success, 1 error, 2 query rejected as non-compliant,
+3 injected faults degraded the query to a partial-failure result.
 """
 
 from __future__ import annotations
@@ -24,7 +29,13 @@ import argparse
 import sys
 
 from .errors import NonCompliantQueryError, ReproError
-from .execution import ExecutionEngine, explain_fragments, fragment_plan
+from .execution import (
+    ExecutionEngine,
+    RetryPolicy,
+    explain_fragments,
+    fragment_plan,
+    parse_fault_spec,
+)
 from .optimizer import (
     CompliantOptimizer,
     TraditionalOptimizer,
@@ -103,6 +114,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the per-site fragment DAG (and, with --parallel, "
         "per-fragment simulated timings) before the rows",
     )
+    run.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject WAN faults (implies --parallel); ';'-separated events: "
+        "crash:SITE@T, drop:SRC->DST@T[+DUR], slow:SRC->DST@T[+DUR]xFACTOR, "
+        "flaky:SRC->DST@T+DUR, random:SEED",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max retries per transfer under --faults (default 3)",
+    )
+    run.add_argument(
+        "--fragment-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cap each fragment's input-delivery span on the simulated "
+        "clock; exceeding it triggers failover (default: no cap)",
+    )
 
     audit = sub.add_parser(
         "audit", help="legal shipping destinations of a (single-database) query"
@@ -156,12 +190,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.explain_fragments:
         print(explain_fragments(fragment_plan(result.plan)))
         print()
+    faults = None
+    retry_policy = None
+    if args.faults is not None:
+        faults = parse_fault_spec(args.faults, locations=catalog.locations)
+        parallel = True  # faults live on the fragment scheduler's clock
+    else:
+        parallel = args.parallel
+    if args.retries is not None or args.fragment_timeout is not None:
+        defaults = RetryPolicy()
+        retry_policy = RetryPolicy(
+            max_retries=defaults.max_retries if args.retries is None else args.retries,
+            fragment_timeout=args.fragment_timeout,
+        )
     engine = ExecutionEngine(
         database,
         network,
         policy_guard=optimizer.evaluator,
-        parallel=args.parallel,
+        parallel=parallel,
         max_workers=args.workers,
+        faults=faults,
+        retry_policy=retry_policy,
     )
     output = engine.execute(result.plan)
     print("\t".join(output.columns))
@@ -174,10 +223,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{output.metrics.total_bytes_shipped} bytes shipped across borders "
         f"({output.simulated_cost:.3f} s simulated transfer time)"
     )
-    if args.parallel:
+    if parallel:
         summary += f"; {output.makespan_seconds:.3f} s simulated makespan"
     print(summary, file=sys.stderr)
-    if args.explain_fragments and args.parallel:
+    if faults is not None:
+        print(f"injected faults: {faults}", file=sys.stderr)
+        print(
+            f"{output.metrics.transfer_attempts} transfer attempts over "
+            f"{len(output.metrics.ships)} transfers; "
+            f"{output.metrics.retry_wait_seconds:.3f} s simulated retry backoff",
+            file=sys.stderr,
+        )
+        for recovery in output.metrics.recoveries:
+            validated = "validated" if recovery.validated else "unvalidated"
+            print(
+                f"failover: f{recovery.fragment_index} "
+                f"{recovery.from_site} -> {recovery.to_site} at "
+                f"t={recovery.at_seconds:.3f}s ({validated}; {recovery.reason})",
+                file=sys.stderr,
+            )
+    if args.explain_fragments and parallel:
         print("\nfragment timings (simulated WAN clock):", file=sys.stderr)
         for record in output.metrics.fragments:
             print(
@@ -188,6 +253,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"-> {record.sim_finish_seconds:.3f}s]",
                 file=sys.stderr,
             )
+    if output.partial_failure is not None:
+        print(f"PARTIAL FAILURE: {output.partial_failure}", file=sys.stderr)
+        return 3
     return 0
 
 

@@ -59,3 +59,45 @@ class ComplianceViolationError(ReproError):
 
 class ExecutionError(ReproError):
     """Raised on errors while executing a physical plan."""
+
+
+class FaultError(ExecutionError):
+    """Base class of injected-fault failures surfaced by the execution
+    layer (site crashes, link failures, exhausted retries, timeouts).
+
+    Genuine operator bugs raise plain :class:`ExecutionError` and always
+    propagate; only ``FaultError`` subclasses are eligible for retry,
+    failover, and graceful degradation to a partial-failure result."""
+
+
+class TransferError(FaultError):
+    """A cross-site transfer failed at a SHIP boundary.
+
+    ``transient`` distinguishes a retriable blip (flaky link window)
+    from a permanent condition (link down, retry budget exhausted)."""
+
+    def __init__(
+        self, message: str, source: str, target: str, transient: bool = False
+    ) -> None:
+        self.source = source
+        self.target = target
+        self.transient = transient
+        super().__init__(message)
+
+
+class SiteUnavailableError(FaultError):
+    """A site needed by a fragment (its execution site, or the endpoint
+    of one of its transfers) has crashed on the simulated clock."""
+
+    def __init__(self, message: str, site: str) -> None:
+        self.site = site
+        super().__init__(message)
+
+
+class FragmentTimeoutError(FaultError):
+    """A fragment's input delivery exceeded the per-fragment timeout on
+    the simulated clock (typically after accumulating retry backoff)."""
+
+    def __init__(self, message: str, fragment_index: int | None = None) -> None:
+        self.fragment_index = fragment_index
+        super().__init__(message)

@@ -4,6 +4,8 @@ from .metrics import (
     ExecutionMetrics,
     FragmentRecord,
     OperatorRecord,
+    PartialFailure,
+    RecoveryRecord,
     ShipRecord,
 )
 from .operators import OperatorExecutor, actual_bytes
@@ -15,7 +17,22 @@ from .fragments import (
     fragment_plan,
     independent_pairs,
 )
-from .scheduler import FragmentScheduler
+from .faults import (
+    FaultPlan,
+    FlakyLink,
+    LinkDown,
+    SiteCrash,
+    SlowLink,
+    parse_fault_spec,
+    stable_fraction,
+)
+from .recovery import (
+    FailoverPlanner,
+    RetryPolicy,
+    failover_candidates,
+    relocate_fragment,
+)
+from .scheduler import FragmentScheduler, validate_worker_count
 from .engine import ExecutionEngine, ExecutionResult
 from .reference import reference_plan
 
@@ -23,6 +40,8 @@ __all__ = [
     "ExecutionMetrics",
     "FragmentRecord",
     "OperatorRecord",
+    "PartialFailure",
+    "RecoveryRecord",
     "ShipRecord",
     "OperatorExecutor",
     "actual_bytes",
@@ -32,7 +51,19 @@ __all__ = [
     "explain_fragments",
     "fragment_plan",
     "independent_pairs",
+    "FaultPlan",
+    "FlakyLink",
+    "LinkDown",
+    "SiteCrash",
+    "SlowLink",
+    "parse_fault_spec",
+    "stable_fraction",
+    "FailoverPlanner",
+    "RetryPolicy",
+    "failover_candidates",
+    "relocate_fragment",
     "FragmentScheduler",
+    "validate_worker_count",
     "ExecutionEngine",
     "ExecutionResult",
     "reference_plan",

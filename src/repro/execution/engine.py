@@ -25,13 +25,15 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
-from ..errors import ComplianceViolationError
+from ..errors import ComplianceViolationError, ExecutionError
 from ..geo import GeoDatabase, NetworkModel, synthetic_network
 from ..plan import PhysicalPlan
 from ..policy import PolicyEvaluator
-from .metrics import ExecutionMetrics
+from .faults import FaultPlan
+from .metrics import ExecutionMetrics, PartialFailure
 from .operators import OperatorExecutor
-from .scheduler import FragmentScheduler
+from .recovery import RetryPolicy
+from .scheduler import FragmentScheduler, validate_worker_count
 
 
 @dataclass
@@ -62,6 +64,16 @@ class ExecutionResult:
         execution only; 0.0 after a sequential run)."""
         return self.metrics.makespan_seconds
 
+    @property
+    def partial_failure(self) -> PartialFailure | None:
+        """Set when injected faults made the query unrecoverable (the
+        rows are then empty); ``None`` for every completed query."""
+        return self.metrics.partial_failure
+
+    @property
+    def ok(self) -> bool:
+        return self.metrics.partial_failure is None
+
 
 class ExecutionEngine:
     """Executes physical plans over geo-distributed in-memory data."""
@@ -73,12 +85,22 @@ class ExecutionEngine:
         policy_guard: PolicyEvaluator | None = None,
         parallel: bool = False,
         max_workers: int | None = None,
+        faults: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
+        validate_worker_count(max_workers)  # reject 0/negative up front
         self.database = database
         self.network = network or synthetic_network(database.catalog.locations)
         self.policy_guard = policy_guard
         self.parallel = parallel
         self.max_workers = max_workers
+        self.faults = faults
+        self.retry_policy = retry_policy
+        if faults and not parallel:
+            raise ExecutionError(
+                "fault injection requires the fragment scheduler; construct "
+                "the engine with parallel=True"
+            )
 
     def execute(
         self, plan: PhysicalPlan, parallel: bool | None = None
@@ -98,10 +120,20 @@ class ExecutionEngine:
                     f"refusing to execute non-compliant plan: {details}"
                 )
         use_parallel = self.parallel if parallel is None else parallel
+        if self.faults and not use_parallel:
+            raise ExecutionError(
+                "fault injection requires the fragment scheduler; pass "
+                "parallel=True"
+            )
         start = time.perf_counter()
         if use_parallel:
             scheduler = FragmentScheduler(
-                self.database, self.network, max_workers=self.max_workers
+                self.database,
+                self.network,
+                max_workers=self.max_workers,
+                faults=self.faults,
+                retry_policy=self.retry_policy,
+                compliance_guard=self.policy_guard,
             )
             (columns, rows), metrics = scheduler.run(plan)
         else:

@@ -35,13 +35,21 @@ from ..geo import NetworkModel
 
 @dataclass
 class ShipRecord:
-    """One SHIP operator's measured transfer."""
+    """One SHIP operator's measured transfer.
+
+    Under fault injection the final *successful* attempt is recorded:
+    ``seconds`` is that attempt's transfer time (including any slow-link
+    degradation), ``attempts`` counts every try, and
+    ``retry_wait_seconds`` is the backoff the consumer waited through on
+    the simulated clock (it inflates the makespan, not ``seconds``)."""
 
     source: str
     target: str
     rows: int
     bytes: int
     seconds: float  # simulated transfer time under the network model
+    attempts: int = 1
+    retry_wait_seconds: float = 0.0
 
 
 @dataclass
@@ -85,6 +93,42 @@ class FragmentRecord:
 
 
 @dataclass
+class RecoveryRecord:
+    """One compliance-preserving failover performed during execution."""
+
+    fragment_index: int
+    from_site: str
+    to_site: str
+    reason: str
+    at_seconds: float  # simulated instant the failure was detected
+    #: True when a policy evaluator re-validated the new placement (it
+    #: is only False when the scheduler runs without a compliance guard,
+    #: e.g. for baseline plans with no policies registered).
+    validated: bool = False
+
+
+@dataclass
+class PartialFailure:
+    """Typed outcome of a query that could not be recovered.
+
+    Returned (on the metrics) instead of raising, so callers can
+    distinguish "the WAN failed in a way no compliant recovery could
+    absorb" from a genuine executor bug — the latter still raises."""
+
+    fragment_index: int
+    location: str
+    error_type: str  # repro.errors class name, e.g. "SiteUnavailableError"
+    message: str
+    at_seconds: float = 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"fragment f{self.fragment_index} @ {self.location}: "
+            f"{self.error_type}: {self.message}"
+        )
+
+
+@dataclass
 class ExecutionMetrics:
     """Metrics of one plan execution."""
 
@@ -100,6 +144,10 @@ class ExecutionMetrics:
     #: Per-site simulated clock after the last delivery event at that
     #: site (fragment scheduler only).
     site_clock_seconds: dict[str, float] = field(default_factory=dict)
+    #: Failovers performed during this execution (fault injection only).
+    recoveries: list[RecoveryRecord] = field(default_factory=list)
+    #: Set when the query degraded instead of completing; rows are empty.
+    partial_failure: PartialFailure | None = None
 
     @property
     def total_bytes_shipped(self) -> int:
@@ -112,8 +160,21 @@ class ExecutionMetrics:
     @property
     def shipping_seconds(self) -> float:
         """Total simulated cross-site transfer time — the paper's
-        execution-cost metric (an upper bound on response time)."""
+        execution-cost metric (an upper bound on response time for
+        fault-free runs; retry waits are *not* included here)."""
         return sum(s.seconds for s in self.ships)
+
+    @property
+    def retry_wait_seconds(self) -> float:
+        """Total simulated backoff waited across all transfers; part of
+        the makespan but not of :attr:`shipping_seconds`."""
+        return sum(s.retry_wait_seconds for s in self.ships)
+
+    @property
+    def transfer_attempts(self) -> int:
+        """Attempts across all successful transfers (1 each when no
+        faults were injected)."""
+        return sum(s.attempts for s in self.ships)
 
     @property
     def local_compute_seconds(self) -> float:

@@ -1,0 +1,269 @@
+"""Retry and compliance-preserving failover for faulted WAN execution.
+
+Two recovery mechanisms layer on top of the fault model
+(:mod:`repro.execution.faults`):
+
+* **Per-transfer retry** — :class:`RetryPolicy` gives every transfer a
+  bounded number of attempts with exponential backoff and deterministic
+  jitter, all on the *simulated* clock: backoff waits are charged to the
+  consumer fragment's start time, so the reported makespan includes
+  every retry delay.  Jitter is derived from a stable hash of the
+  transfer's identity (never from wall-clock randomness), so a faulted
+  run is reproducible regardless of thread scheduling.
+
+* **Compliance-preserving failover** — when a fragment's site has
+  crashed (or its inputs cannot reach it), :class:`FailoverPlanner`
+  re-places the fragment at a backup site.  The candidate set is the
+  intersection of the annotated execution traits ℰ over the fragment's
+  operators (the site selector attaches them during materialization, so
+  this re-uses exactly the legality information the optimizer's memo
+  derived), ranked by estimated re-shipping cost under the same
+  ``α + β·bytes`` model the site-selection DP minimized.  Every
+  candidate placement is re-validated with
+  :func:`repro.optimizer.validator.check_recovery_placement` before it
+  is accepted — recovery never trades compliance for availability.
+  Fragments that scan tables at the dead site (ℰ = {dead site}) and
+  result-delivery fragments (the user chose the destination) are
+  pinned: with no legal candidate the query degrades to a typed
+  partial-failure result instead of either crashing or shipping data
+  somewhere the dataflow policies forbid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ExecutionError
+from ..geo import NetworkModel
+from ..plan import PhysicalPlan, Ship, TableScan
+from .fragments import Fragment, FragmentDAG, fragment_plan
+from .faults import stable_fraction
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/timeout knobs, all in simulated seconds."""
+
+    #: Failed attempts a transfer may retry (0 disables retries).
+    max_retries: int = 3
+    #: Backoff before the first retry; grows by ``backoff_multiplier``.
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    #: Jitter fraction: each wait is scaled by ``1 + jitter·u`` with a
+    #: deterministic ``u ∈ [0, 1)`` derived from the transfer identity.
+    jitter: float = 0.25
+    #: Cap on one fragment's input-delivery span (``None`` = no cap).
+    fragment_timeout: float | None = None
+    #: Failure-detection delay charged once per failover.
+    detection_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ExecutionError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_seconds < 0 or self.backoff_multiplier < 1.0:
+            raise ExecutionError("backoff must be >= 0 with multiplier >= 1")
+        if self.fragment_timeout is not None and self.fragment_timeout <= 0:
+            raise ExecutionError(
+                f"fragment_timeout must be positive, got {self.fragment_timeout}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def backoff(self, failed_attempts: int, *key: object) -> float:
+        """Simulated wait before the next attempt, after ``failed_attempts``
+        (>= 1) failures of the transfer identified by ``key``."""
+        base = self.backoff_seconds * self.backoff_multiplier ** (failed_attempts - 1)
+        return base * (1.0 + self.jitter * stable_fraction("retry", failed_attempts, *key))
+
+
+# -- fragment relocation -------------------------------------------------------
+
+
+def fragment_body_ids(fragment: Fragment) -> tuple[set[int], set[int]]:
+    """Ids of the nodes in a fragment's body, and of its cut Ship leaves
+    (which are part of the body but keep their producer-side source)."""
+    cut = {id(entry.ship) for entry in fragment.inputs}
+    body: set[int] = set()
+    stack: list[PhysicalPlan] = [fragment.root]
+    while stack:
+        node = stack.pop()
+        body.add(id(node))
+        if id(node) in cut:
+            continue
+        stack.extend(node.children())
+    return body, cut
+
+
+def relocate_fragment(
+    plan: PhysicalPlan, fragment: Fragment, new_site: str
+) -> PhysicalPlan:
+    """A copy of ``plan`` with ``fragment`` re-placed at ``new_site``.
+
+    Body operators move to ``new_site``; the fragment's cut input Ships
+    now deliver to ``new_site`` (their sources — the producers' sites —
+    are untouched); the fragment's output Ship, which lives in the
+    consumer's body, now originates *from* ``new_site``.  The original
+    plan objects are never mutated, so an in-flight execution of the old
+    placement stays consistent and the candidate can be discarded freely
+    if validation rejects it.
+    """
+    body, cut = fragment_body_ids(fragment)
+    output_id = id(fragment.output) if fragment.output is not None else None
+
+    def rebuild(node: PhysicalPlan) -> PhysicalPlan:
+        overrides: dict[str, object] = {}
+        for attr in ("child", "left", "right"):
+            value = getattr(node, attr, None)
+            if isinstance(value, PhysicalPlan):
+                overrides[attr] = rebuild(value)
+        inputs = getattr(node, "inputs", None)
+        if isinstance(inputs, tuple):
+            overrides["inputs"] = tuple(rebuild(v) for v in inputs)
+        if id(node) == output_id:
+            overrides["source"] = new_site
+        elif id(node) in cut:
+            overrides["location"] = new_site
+            overrides["target"] = new_site
+        elif id(node) in body:
+            overrides["location"] = new_site
+        return replace(node, **overrides)
+
+    return rebuild(plan)
+
+
+# -- failover planning ---------------------------------------------------------
+
+
+def failover_candidates(
+    fragment: Fragment,
+    unavailable: frozenset[str],
+    all_locations: frozenset[str] | None = None,
+) -> tuple[str, ...]:
+    """Legal backup sites for ``fragment``: ⋂ℰ over its body operators.
+
+    Table scans carry ℰ = {home site}, so fragments reading data at a
+    crashed site are pinned automatically (empty result).  A fragment
+    whose root is a Ship is a result-delivery relay — the destination
+    was chosen by the caller, never moved.  When trait annotations are
+    absent (hand-built or baseline plans) the fallback is
+    ``all_locations`` unless the body scans a table, in which case the
+    fragment is pinned to the scan's home.
+    """
+    if isinstance(fragment.root, Ship):
+        return ()
+    _body, cut = fragment_body_ids(fragment)
+    trait: frozenset[str] | None = None
+    untraited_scan = False
+    stack: list[PhysicalPlan] = [fragment.root]
+    while stack:
+        node = stack.pop()
+        if id(node) in cut or isinstance(node, Ship):
+            continue
+        if node.execution_trait is not None:
+            trait = (
+                node.execution_trait
+                if trait is None
+                else trait & node.execution_trait
+            )
+        elif isinstance(node, TableScan):
+            untraited_scan = True
+        stack.extend(node.children())
+    if trait is None:
+        if untraited_scan or all_locations is None:
+            return ()
+        trait = all_locations
+    elif untraited_scan:
+        return ()
+    legal = trait - unavailable - {fragment.location}
+    return tuple(sorted(legal))
+
+
+@dataclass
+class Failover:
+    """A validated re-placement of one failed fragment."""
+
+    index: int
+    from_site: str
+    to_site: str
+    reason: str
+    plan: PhysicalPlan  # the whole re-placed plan
+    dag: FragmentDAG  # re-fragmented (same shape: cuts are unchanged)
+    #: Whether a policy evaluator re-validated the placement (False only
+    #: when the scheduler runs without a compliance guard).
+    validated: bool = False
+
+
+class FailoverPlanner:
+    """Chooses and validates backup placements for failed fragments."""
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        evaluator=None,  # PolicyEvaluator | None
+        all_locations: frozenset[str] | None = None,
+    ) -> None:
+        self.network = network
+        self.evaluator = evaluator
+        self.all_locations = all_locations
+
+    def _relocation_cost(self, dag: FragmentDAG, fragment: Fragment, site: str) -> float:
+        """Estimated extra shipping after moving ``fragment`` to ``site``
+        — the same ``α + β·bytes`` objective the site-selection DP
+        minimized, re-evaluated for the new edges."""
+        cost = 0.0
+        for entry in fragment.inputs:
+            producer = dag.fragments[entry.producer]
+            cost += self.network.transfer_time(
+                producer.location, site, entry.ship.estimated_bytes
+            )
+        if fragment.output is not None and fragment.consumer is not None:
+            consumer = dag.fragments[fragment.consumer]
+            cost += self.network.transfer_time(
+                site, consumer.location, fragment.output.estimated_bytes
+            )
+        return cost
+
+    def plan_failover(
+        self,
+        plan: PhysicalPlan,
+        dag: FragmentDAG,
+        index: int,
+        unavailable: frozenset[str],
+        reason: str,
+    ) -> Failover | None:
+        """The cheapest compliant re-placement of fragment ``index``, or
+        ``None`` when every candidate is illegal, unreachable, or fails
+        re-validation (→ the query degrades to a partial failure)."""
+        fragment = dag.fragments[index]
+        candidates = failover_candidates(fragment, unavailable, self.all_locations)
+        ranked = sorted(
+            candidates,
+            key=lambda site: (self._relocation_cost(dag, fragment, site), site),
+        )
+        for site in ranked:
+            candidate_plan = relocate_fragment(plan, fragment, site)
+            validated = False
+            if self.evaluator is not None:
+                from ..optimizer.validator import check_recovery_placement
+
+                if check_recovery_placement(candidate_plan, self.evaluator):
+                    continue  # never recover into a non-compliant plan
+                validated = True
+            new_dag = fragment_plan(candidate_plan)
+            if len(new_dag.fragments) != len(dag.fragments):  # pragma: no cover
+                # Relocation only changes locations, never the cut
+                # topology; a shape change would invalidate the results
+                # computed so far, so refuse this candidate.
+                continue
+            return Failover(
+                index=index,
+                from_site=fragment.location,
+                to_site=site,
+                reason=reason,
+                plan=candidate_plan,
+                dag=new_dag,
+                validated=validated,
+            )
+        return None

@@ -1,4 +1,5 @@
-"""Fragment-parallel plan execution with a simulated WAN clock.
+"""Fragment-parallel plan execution with a simulated, fault-injectable
+WAN clock.
 
 The sequential :class:`~repro.execution.operators.OperatorExecutor`
 evaluates a located plan depth-first on one thread, so independent
@@ -20,12 +21,36 @@ transfer times.  This scheduler executes the
   message cost model (measured wall-clock compute is still recorded per
   fragment as an observability hook).  The latest delivery instant is
   the plan's **makespan** — its critical-path response time.
+* **Fault injection and recovery** — when constructed with a
+  :class:`~repro.execution.faults.FaultPlan`, every transfer attempt
+  consults it at the attempt's simulated instant through a
+  :class:`~repro.geo.FaultAwareNetwork`.  Transient failures retry with
+  exponential backoff and deterministic jitter
+  (:class:`~repro.execution.recovery.RetryPolicy`), charging every wait
+  to the simulated clock so the makespan includes all retry delays.  A
+  crashed site triggers **compliance-preserving failover**: the failed
+  fragment is re-placed only at a site drawn from its annotated
+  execution traits ℰ and re-validated by the plan validator
+  (:class:`~repro.execution.recovery.FailoverPlanner`); when no legal
+  placement exists the query degrades to a typed
+  :class:`~repro.execution.metrics.PartialFailure` instead of crashing.
 
-``makespan_seconds <= shipping_seconds`` always holds (a critical path
-cannot exceed the sum of all edges), with equality exactly when every
-SHIP lies on a single root-to-leaf path (chain plans).  Bushy plans with
-independent fragments come in strictly below the sum — the quantity the
-paper's response-time experiments actually report.
+Without faults, ``makespan_seconds <= shipping_seconds`` always holds
+(a critical path cannot exceed the sum of all edges), with equality
+exactly when every SHIP lies on a single root-to-leaf path (chain
+plans).  Bushy plans with independent fragments come in strictly below
+the sum — the quantity the paper's response-time experiments actually
+report.  Under faults the makespan additionally absorbs retry backoff,
+slow-link degradation, and failover re-deliveries, so it may exceed the
+(successful-attempt) shipping sum; the chaos benchmark reports exactly
+this inflation.
+
+All simulation and recovery bookkeeping runs in the single-threaded
+coordinator loop; worker threads only evaluate operators.  Injected
+faults surface as :class:`~repro.errors.FaultError` subclasses and are
+absorbed by retry/failover/degradation — genuine operator failures are
+*not* absorbed: they cancel all pending sibling fragments and propagate
+to the caller unchanged.
 """
 
 from __future__ import annotations
@@ -34,20 +59,49 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 
-from ..errors import ExecutionError
-from ..geo import GeoDatabase, NetworkModel
+from ..errors import (
+    ExecutionError,
+    FaultError,
+    FragmentTimeoutError,
+    SiteUnavailableError,
+    TransferError,
+)
+from ..geo import FaultAwareNetwork, GeoDatabase, NetworkModel
 from ..plan import PhysicalPlan, Ship
+from .faults import FaultPlan
 from .fragments import Fragment, FragmentDAG, fragment_plan
-from .metrics import ExecutionMetrics, FragmentRecord, ShipRecord
+from .metrics import (
+    ExecutionMetrics,
+    FragmentRecord,
+    PartialFailure,
+    RecoveryRecord,
+    ShipRecord,
+)
 from .operators import OperatorExecutor, Result, actual_bytes
+from .recovery import FailoverPlanner, RetryPolicy
+
+
+def validate_worker_count(max_workers: int | None) -> int:
+    """Resolve and validate a thread-pool size; ``None`` means the
+    default of ``min(8, cores)``.  Zero and negative counts are rejected
+    here with a clear error instead of surfacing as an opaque crash deep
+    inside :class:`ThreadPoolExecutor` (or, worse for 0, silently
+    falling back to the default)."""
+    if max_workers is None:
+        return min(8, os.cpu_count() or 1)
+    if max_workers < 1:
+        raise ExecutionError(
+            f"worker count must be a positive integer, got {max_workers}"
+        )
+    return max_workers
 
 
 class _FragmentExecutor(OperatorExecutor):
     """Evaluator for one fragment body: cut SHIP leaves resolve to the
     producer fragments' already-computed results instead of recursing.
 
-    The transfer itself is accounted once, by the scheduler, when the
-    producer completes — so metrics totals match the sequential engine.
+    The transfer itself is accounted once, by the coordinator, when the
+    consumer is admitted — so metrics totals match the sequential engine.
     """
 
     def __init__(
@@ -70,133 +124,394 @@ class _FragmentExecutor(OperatorExecutor):
 
 
 class FragmentScheduler:
-    """Executes a located plan fragment-by-fragment on a thread pool."""
+    """Executes a located plan fragment-by-fragment on a thread pool,
+    optionally under an injected fault schedule."""
 
     def __init__(
         self,
         database: GeoDatabase,
         network: NetworkModel,
         max_workers: int | None = None,
+        faults: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        compliance_guard=None,  # PolicyEvaluator | None
     ) -> None:
         self.database = database
         self.network = network
-        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.max_workers = validate_worker_count(max_workers)
+        self.faults = faults if faults is not None else FaultPlan()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.compliance_guard = compliance_guard
 
     def run(self, plan: PhysicalPlan) -> tuple[Result, ExecutionMetrics]:
         """Execute ``plan``; returns the root result and plan metrics
-        (fragment records, ship records, and ``makespan_seconds``)."""
-        dag = fragment_plan(plan)
-        results, fragment_metrics = self._execute_dag(dag)
-        metrics = self._account(dag, results, fragment_metrics)
-        return results[dag.root_index][0], metrics
+        (fragment records, ship records, recoveries, and
+        ``makespan_seconds``).  Under fault injection an unrecoverable
+        query returns empty rows with ``metrics.partial_failure`` set;
+        genuine operator failures raise."""
+        run = _ChaosRun(self, plan)
+        run.execute()
+        metrics = run.account()
+        if run.failure is not None:
+            return (list(plan.field_names), []), metrics
+        return run.results[run.dag.root_index][0], metrics
 
-    # -- parallel execution ----------------------------------------------------
 
-    def _execute_dag(
-        self, dag: FragmentDAG
-    ) -> tuple[dict[int, tuple[Result, float]], dict[int, ExecutionMetrics]]:
+class _ChaosRun:
+    """State of one scheduled execution: the (possibly re-placed) plan
+    and DAG, per-fragment results and simulated instants, and every
+    fault-recovery decision.  All methods run on the coordinator thread
+    except :meth:`_compute`, the worker-side operator evaluation."""
+
+    #: Hard cap on failovers per run — each failover excludes a site for
+    #: its fragment, so this is never reached on sane site counts; it
+    #: guards against a pathological fault schedule looping forever.
+    MAX_RECOVERIES = 32
+
+    def __init__(self, scheduler: FragmentScheduler, plan: PhysicalPlan) -> None:
+        self.scheduler = scheduler
+        self.plan = plan
+        self.dag = fragment_plan(plan)
+        self.wan = FaultAwareNetwork(scheduler.network, scheduler.faults)
+        self.policy = scheduler.retry_policy
+        self.planner = FailoverPlanner(
+            scheduler.network,
+            evaluator=scheduler.compliance_guard,
+            all_locations=frozenset(scheduler.database.catalog.locations),
+        )
+        self.results: dict[int, tuple[Result, float]] = {}
+        self.fragment_metrics: dict[int, ExecutionMetrics] = {
+            f.index: ExecutionMetrics() for f in self.dag.fragments
+        }
+        #: Simulated instant each fragment's computation is available at
+        #: its site (compute is free on the simulated clock).
+        self.ready: dict[int, float] = {}
+        #: Simulated instant each fragment's output finished delivery
+        #: (== ready for the result-producing root fragment).
+        self.delivered: dict[int, float] = {}
+        #: Final successful output transfer per producer fragment.
+        self.ship_records: dict[int, ShipRecord] = {}
+        self.recoveries: list[RecoveryRecord] = []
+        self.failure: PartialFailure | None = None
+        #: Sites a fragment has already failed at (never retried).
+        self._excluded: dict[int, set[str]] = {}
+        self._bytes_cache: dict[int, int] = {}
+
+    # -- worker side -----------------------------------------------------------
+
+    def _compute(self, fragment: Fragment) -> tuple[Result, float]:
+        ship_results = {
+            id(entry.ship): self.results[entry.producer][0]
+            for entry in fragment.inputs
+        }
+        executor = _FragmentExecutor(
+            self.scheduler.database,
+            self.scheduler.network,
+            self.fragment_metrics[fragment.index],
+            ship_results,
+        )
+        start = time.perf_counter()
+        out = executor.run(fragment.root)
+        return out, time.perf_counter() - start
+
+    # -- coordinator: scheduling loop ------------------------------------------
+
+    def execute(self) -> None:
         """Run every fragment, producers before consumers, overlapping
-        independent fragments on the pool.  Maps fragment index to
-        ``((columns, rows), measured_compute_seconds)`` plus the private
-        per-fragment metrics (no cross-thread sharing)."""
-        results: dict[int, tuple[Result, float]] = {}
-        metrics = {f.index: ExecutionMetrics() for f in dag.fragments}
-        waiting_on = {f.index: len(f.inputs) for f in dag.fragments}
+        independent fragments on the pool.  Admission (the simulated
+        fault/recovery bookkeeping) happens just before submission; a
+        genuine operator failure cancels all pending sibling futures and
+        re-raises; an unrecoverable injected fault cancels them and
+        records a :class:`PartialFailure` instead."""
+        waiting_on = {f.index: len(f.inputs) for f in self.dag.fragments}
+        futures: dict[Future, int] = {}
 
-        def execute(fragment: Fragment) -> tuple[Result, float]:
-            ship_results = {
-                id(entry.ship): results[entry.producer][0]
-                for entry in fragment.inputs
-            }
-            executor = _FragmentExecutor(
-                self.database, self.network, metrics[fragment.index], ship_results
-            )
-            start = time.perf_counter()
-            out = executor.run(fragment.root)
-            return out, time.perf_counter() - start
-
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            futures: dict[Future, int] = {
-                pool.submit(execute, f): f.index
-                for f in dag.fragments
-                if not f.inputs
-            }
-            while futures:
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                ready: list[int] = []
-                for future in done:
-                    index = futures.pop(future)
-                    results[index] = future.result()  # re-raises failures
-                    consumer = dag.fragments[index].consumer
-                    if consumer is not None:
-                        waiting_on[consumer] -= 1
-                        if waiting_on[consumer] == 0:
-                            ready.append(consumer)
-                for index in ready:
-                    futures[pool.submit(execute, dag.fragments[index])] = index
-        return results, metrics
-
-    # -- accounting and simulation ---------------------------------------------
-
-    def _account(
-        self,
-        dag: FragmentDAG,
-        results: dict[int, tuple[Result, float]],
-        fragment_metrics: dict[int, ExecutionMetrics],
-    ) -> ExecutionMetrics:
-        merged = ExecutionMetrics()
-        edge_seconds: dict[int, float] = {}  # producer index -> transfer time
-        for fragment in dag.fragments:  # deterministic topological order
-            merged.absorb(fragment_metrics[fragment.index])
-            if fragment.output is not None:
-                (_columns, rows), _compute = results[fragment.index]
-                nbytes = actual_bytes(rows)
-                seconds = self.network.transfer_time(
-                    fragment.output.source, fragment.output.target, nbytes
+        def submit(pool: ThreadPoolExecutor, index: int) -> bool:
+            """Admit + submit one fragment; False aborts the run."""
+            try:
+                self._admit(index)
+            except FaultError as error:
+                fragment = self.dag.fragments[index]
+                self.failure = PartialFailure(
+                    fragment_index=index,
+                    location=fragment.location,
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    at_seconds=getattr(error, "at", 0.0) or 0.0,
                 )
-                merged.ships.append(
-                    ShipRecord(
-                        source=fragment.output.source,
-                        target=fragment.output.target,
-                        rows=len(rows),
-                        bytes=nbytes,
-                        seconds=seconds,
+                return False
+            futures[pool.submit(self._compute, self.dag.fragments[index])] = index
+            return True
+
+        with ThreadPoolExecutor(max_workers=self.scheduler.max_workers) as pool:
+            try:
+                for fragment in self.dag.fragments:
+                    if not fragment.inputs:
+                        if not submit(pool, fragment.index):
+                            return
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    ready: list[int] = []
+                    for future in done:
+                        index = futures.pop(future)
+                        self.results[index] = future.result()  # re-raises bugs
+                        consumer = self.dag.fragments[index].consumer
+                        if consumer is not None:
+                            waiting_on[consumer] -= 1
+                            if waiting_on[consumer] == 0:
+                                ready.append(consumer)
+                    for index in ready:
+                        if not submit(pool, index):
+                            return
+            finally:
+                # On any abort — operator bug or unrecoverable fault —
+                # cancel queued siblings instead of letting them run to
+                # completion during pool shutdown; in-flight ones are
+                # joined by the pool's __exit__.
+                for future in futures:
+                    future.cancel()
+
+    # -- coordinator: simulated admission with faults ---------------------------
+
+    def _admit(self, index: int) -> None:
+        """Fix fragment ``index``'s simulated start: deliver every input
+        to its site, absorbing faults by retry and failover.  Sets
+        ``ready[index]``; raises :class:`FaultError` only when recovery
+        is impossible (→ partial failure)."""
+        not_before = 0.0
+        while True:
+            fragment = self.dag.fragments[index]
+            site = fragment.location
+            base = max(
+                [not_before]
+                + [self.ready[entry.producer] for entry in fragment.inputs]
+            )
+            if self.scheduler.faults.site_down(site, base):
+                error = SiteUnavailableError(
+                    f"site {site!r} is down at t={base:.3f}s", site=site
+                )
+                error.at = base
+                not_before = self._failover(index, error, base)
+                continue
+            try:
+                start = base
+                records: list[tuple[int, ShipRecord, float]] = []
+                for entry in fragment.inputs:
+                    delivered, record = self._transfer(
+                        entry.producer, site, not_before, consumer_index=index
                     )
+                    records.append((entry.producer, record, delivered))
+                    start = max(start, delivered)
+            except SiteUnavailableError as error:
+                detected = getattr(error, "at", base)
+                if error.site == site:
+                    not_before = self._failover(index, error, detected)
+                else:
+                    # A producer's site died before its data got out:
+                    # the computed rows are lost with the site, so the
+                    # producer is re-placed and (freely, on the simulated
+                    # clock) recomputed at its new site after its own
+                    # inputs are re-delivered there.
+                    producer = self._producer_at(fragment, error.site)
+                    not_before = self._failover(producer, error, detected)
+                continue
+            except (TransferError, FragmentTimeoutError) as error:
+                # A permanently dead or timed-out path into this site:
+                # route around it by re-placing the consumer.
+                not_before = self._failover(index, error, getattr(error, "at", base))
+                continue
+            if self.scheduler.faults.site_down(site, start):
+                # The site died while its inputs were in flight; the
+                # buffered records are discarded with the attempt.
+                error = SiteUnavailableError(
+                    f"site {site!r} went down at t<={start:.3f}s while inputs "
+                    f"were arriving",
+                    site=site,
                 )
-                edge_seconds[fragment.index] = seconds
+                error.at = start
+                not_before = self._failover(index, error, start)
+                continue
+            for producer, record, delivered in records:
+                self.ship_records[producer] = record
+                self.delivered[producer] = delivered
+            self.ready[index] = start
+            if index == self.dag.root_index:
+                self.delivered[index] = start
+            return
 
-        # Event-driven simulation: one clock per site, advanced by
-        # transfer-delivery events in topological order.
-        started: dict[int, float] = {}
-        delivered: dict[int, float] = {}
+    def _producer_at(self, fragment: Fragment, site: str) -> int:
+        for entry in fragment.inputs:
+            if self.dag.fragments[entry.producer].location == site:
+                return entry.producer
+        raise AssertionError(  # pragma: no cover - transfer endpoints are inputs
+            f"no producer of f{fragment.index} at {site!r}"
+        )
+
+    def _transfer(
+        self,
+        producer_index: int,
+        target_site: str,
+        not_before: float,
+        consumer_index: int,
+    ) -> tuple[float, ShipRecord]:
+        """Simulate the delivery of ``producer_index``'s output to
+        ``target_site``: repeated attempts against the fault-aware
+        network with exponential backoff, bounded by the retry budget
+        and the per-fragment timeout.  Returns the simulated delivery
+        instant and the record of the successful attempt."""
+        producer = self.dag.fragments[producer_index]
+        source = producer.location
+        (columns, rows), _compute = self.results[producer_index]
+        nbytes = self._bytes_cache.get(producer_index)
+        if nbytes is None:
+            nbytes = actual_bytes(rows)
+            self._bytes_cache[producer_index] = nbytes
+        begin = max(self.ready[producer_index], not_before)
+        timeout = self.policy.fragment_timeout
+        now = begin
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                seconds = self.wan.attempt_transfer(source, target_site, nbytes, now)
+            except TransferError as error:
+                error.at = now
+                if not error.transient or attempts >= self.policy.max_attempts:
+                    raise
+                pause = self.policy.backoff(
+                    attempts, producer_index, source, target_site
+                )
+                if timeout is not None and (now + pause) - begin > timeout:
+                    timeout_error = FragmentTimeoutError(
+                        f"inputs of fragment f{consumer_index} exceeded the "
+                        f"{timeout:g}s fragment timeout while retrying "
+                        f"{source} -> {target_site}",
+                        fragment_index=consumer_index,
+                    )
+                    timeout_error.at = now
+                    raise timeout_error from error
+                now += pause
+                continue
+            except SiteUnavailableError as error:
+                error.at = now
+                raise
+            delivered = now + seconds
+            if timeout is not None and delivered - begin > timeout:
+                timeout_error = FragmentTimeoutError(
+                    f"delivery {source} -> {target_site} took "
+                    f"{delivered - begin:.3f}s, exceeding the {timeout:g}s "
+                    f"fragment timeout",
+                    fragment_index=consumer_index,
+                )
+                timeout_error.at = delivered
+                raise timeout_error
+            record = ShipRecord(
+                source=source,
+                target=target_site,
+                rows=len(rows),
+                bytes=nbytes,
+                seconds=seconds,
+                attempts=attempts,
+                retry_wait_seconds=now - begin,
+            )
+            return delivered, record
+
+    def _failover(self, index: int, error: FaultError, detected: float) -> float:
+        """Re-place fragment ``index`` after ``error``, compliance
+        checks included; returns the earliest simulated instant work may
+        resume.  Raises the original error when no legal placement
+        exists — the caller turns that into a partial failure."""
+        if len(self.recoveries) >= self.MAX_RECOVERIES:
+            raise error
+        fragment = self.dag.fragments[index]
+        excluded = self._excluded.setdefault(index, set())
+        excluded.add(fragment.location)
+        unavailable = (
+            self.scheduler.faults.crashed_sites(detected) | frozenset(excluded)
+        )
+        failover = self.planner.plan_failover(
+            self.plan, self.dag, index, frozenset(unavailable), reason=str(error)
+        )
+        if failover is None:
+            raise error
+        self.plan = failover.plan
+        self.dag = failover.dag
+        self.recoveries.append(
+            RecoveryRecord(
+                fragment_index=index,
+                from_site=failover.from_site,
+                to_site=failover.to_site,
+                reason=failover.reason,
+                at_seconds=detected,
+                validated=failover.validated,
+            )
+        )
+        resume = detected + self.policy.detection_seconds
+        if index in self.results:
+            # An already-computed fragment (its site died holding the
+            # data): recompute at the new site, which on the simulated
+            # clock costs only the re-delivery of its inputs.
+            self._reready(index, resume)
+        return resume
+
+    def _reready(self, index: int, not_before: float) -> None:
+        """Recompute the ready instant of re-placed fragment ``index``
+        by re-delivering its inputs to its new site.  Faults apply to
+        the re-deliveries too; a failure here propagates and degrades
+        the query to a partial failure."""
+        fragment = self.dag.fragments[index]
+        start = not_before
+        for entry in fragment.inputs:
+            delivered, record = self._transfer(
+                entry.producer, fragment.location, not_before, consumer_index=index
+            )
+            self.ship_records[entry.producer] = record
+            self.delivered[entry.producer] = delivered
+            start = max(start, delivered)
+        self.ready[index] = start
+
+    # -- accounting -------------------------------------------------------------
+
+    def account(self) -> ExecutionMetrics:
+        """Assemble plan-level metrics from the per-fragment pieces and
+        the simulated timeline (deterministic fragment order)."""
+        merged = ExecutionMetrics()
         site_clock: dict[str, float] = {}
-        for fragment in dag.fragments:
-            start = max(
-                (delivered[entry.producer] for entry in fragment.inputs),
-                default=0.0,
-            )
-            started[fragment.index] = start
-            delivered[fragment.index] = start + edge_seconds.get(fragment.index, 0.0)
+        for fragment in self.dag.fragments:
+            index = fragment.index
+            merged.absorb(self.fragment_metrics[index])
+            record = self.ship_records.get(index)
+            if record is not None:
+                merged.ships.append(record)
+            if index not in self.results:
+                continue  # never ran (aborted by a partial failure)
+            (_columns, rows), compute = self.results[index]
+            start = self.ready.get(index, 0.0)
+            finish = self.delivered.get(index, start)
             site_clock[fragment.location] = max(
-                site_clock.get(fragment.location, 0.0), delivered[fragment.index]
+                site_clock.get(fragment.location, 0.0), finish
             )
-
-        for fragment in dag.fragments:
-            (_columns, rows), compute = results[fragment.index]
             merged.fragments.append(
                 FragmentRecord(
-                    index=fragment.index,
+                    index=index,
                     location=fragment.location,
                     root=fragment.root.describe(),
-                    operators=fragment_metrics[fragment.index].operators_executed,
+                    operators=self.fragment_metrics[index].operators_executed,
                     rows_out=len(rows),
                     compute_seconds=compute,
-                    sim_start_seconds=started[fragment.index],
-                    sim_finish_seconds=delivered[fragment.index],
+                    sim_start_seconds=start,
+                    sim_finish_seconds=finish,
                     inputs=tuple(entry.producer for entry in fragment.inputs),
                     consumer=fragment.consumer,
                 )
             )
-        merged.makespan_seconds = delivered[dag.root_index]
+        merged.recoveries = list(self.recoveries)
+        merged.partial_failure = self.failure
+        if self.failure is not None:
+            merged.makespan_seconds = max(
+                [self.failure.at_seconds, *self.delivered.values()], default=0.0
+            )
+        else:
+            merged.makespan_seconds = self.delivered.get(self.dag.root_index, 0.0)
         merged.site_clock_seconds = site_clock
         return merged

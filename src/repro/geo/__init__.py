@@ -1,6 +1,19 @@
 """Geo-distribution substrate: network cost model and data store."""
 
-from .network import LinkCost, NetworkModel, synthetic_network
+from .network import (
+    FaultAwareNetwork,
+    FaultModel,
+    LinkCost,
+    NetworkModel,
+    synthetic_network,
+)
 from .database import GeoDatabase
 
-__all__ = ["LinkCost", "NetworkModel", "synthetic_network", "GeoDatabase"]
+__all__ = [
+    "FaultAwareNetwork",
+    "FaultModel",
+    "LinkCost",
+    "NetworkModel",
+    "synthetic_network",
+    "GeoDatabase",
+]

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Protocol
+
+from ..errors import SiteUnavailableError, TransferError
 
 
 @dataclass(frozen=True)
@@ -61,6 +63,84 @@ class NetworkModel:
         if src == dst:
             return 0.0
         return cost.alpha + cost.beta * nbytes
+
+
+class FaultModel(Protocol):
+    """What a fault schedule must answer for the network layer.
+
+    Implemented by :class:`repro.execution.faults.FaultPlan`; declared
+    structurally here so ``geo`` stays independent of ``execution``."""
+
+    def site_down(self, site: str, when: float) -> bool: ...
+
+    def link_down(self, source: str, target: str, when: float) -> object | None: ...
+
+    def link_flaky(self, source: str, target: str, when: float) -> object | None: ...
+
+    def slow_factor(self, source: str, target: str, when: float) -> float: ...
+
+
+class FaultAwareNetwork(NetworkModel):
+    """A :class:`NetworkModel` view that consults a fault schedule.
+
+    ``transfer_time`` (the time-free view used for planning and
+    fault-free accounting) delegates to the base model unchanged;
+    :meth:`attempt_transfer` is the runtime entry point the fragment
+    scheduler calls per attempt at a simulated instant, surfacing
+    injected faults as the typed errors of :mod:`repro.errors`:
+
+    * endpoint site crashed → :class:`SiteUnavailableError`;
+    * link down → :class:`TransferError` (``transient`` only when the
+      outage has a known end);
+    * link flaky → transient :class:`TransferError`;
+    * otherwise the attempt succeeds, taking the base transfer time
+      multiplied by any active :class:`~repro.execution.faults.SlowLink`
+      degradation.
+
+    Local moves (``src == dst``) never touch the WAN and only fail when
+    the site itself is down.
+    """
+
+    def __init__(self, base: NetworkModel, faults: FaultModel) -> None:
+        super().__init__(base._links)
+        self.base = base
+        self.faults = faults
+
+    def site_available(self, site: str, when: float) -> bool:
+        return not self.faults.site_down(site, when)
+
+    def attempt_transfer(
+        self, src: str, dst: str, nbytes: float, when: float
+    ) -> float:
+        """Simulate one transfer attempt starting at simulated ``when``;
+        returns the attempt's duration in seconds or raises a typed
+        fault error."""
+        for site in (src, dst):
+            if self.faults.site_down(site, when):
+                raise SiteUnavailableError(
+                    f"site {site!r} is down at t={when:.3f}s", site=site
+                )
+        if src == dst:
+            return 0.0
+        outage = self.faults.link_down(src, dst, when)
+        if outage is not None:
+            transient = getattr(outage, "duration", None) is not None
+            raise TransferError(
+                f"link {src} -> {dst} is down at t={when:.3f}s",
+                source=src,
+                target=dst,
+                transient=transient,
+            )
+        if self.faults.link_flaky(src, dst, when) is not None:
+            raise TransferError(
+                f"transient failure on {src} -> {dst} at t={when:.3f}s",
+                source=src,
+                target=dst,
+                transient=True,
+            )
+        return self.base.transfer_time(src, dst, nbytes) * self.faults.slow_factor(
+            src, dst, when
+        )
 
 
 def _stable_fraction(token: str) -> float:

@@ -17,6 +17,7 @@ from .validator import (
     Violation,
     check_compliance,
     check_compliance_strict,
+    check_recovery_placement,
     is_compliant,
     to_logical,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "Violation",
     "check_compliance",
     "check_compliance_strict",
+    "check_recovery_placement",
     "is_compliant",
     "to_logical",
     "CompliantOptimizer",

@@ -185,6 +185,7 @@ def _to_physical(
             fields=fields,
             location=location,
             estimated_rows=rows,
+            execution_trait=node.execution_trait,
             table=op.table,
             database=op.database,
             alias=op.alias,
@@ -194,6 +195,7 @@ def _to_physical(
             fields=fields,
             location=location,
             estimated_rows=rows,
+            execution_trait=node.execution_trait,
             child=children[0],
             predicate=op.predicate,
         )
@@ -202,6 +204,7 @@ def _to_physical(
             fields=fields,
             location=location,
             estimated_rows=rows,
+            execution_trait=node.execution_trait,
             child=children[0],
             exprs=op.exprs,
             names=op.names,
@@ -223,6 +226,7 @@ def _to_physical(
                 fields=fields,
                 location=location,
                 estimated_rows=rows,
+                execution_trait=node.execution_trait,
                 left=children[0],
                 right=children[1],
                 left_keys=tuple(left_keys),
@@ -233,6 +237,7 @@ def _to_physical(
             fields=fields,
             location=location,
             estimated_rows=rows,
+            execution_trait=node.execution_trait,
             left=children[0],
             right=children[1],
             condition=op.condition,
@@ -242,6 +247,7 @@ def _to_physical(
             fields=fields,
             location=location,
             estimated_rows=rows,
+            execution_trait=node.execution_trait,
             child=children[0],
             group_keys=op.group_keys,
             aggregates=op.aggregates,
@@ -252,6 +258,7 @@ def _to_physical(
             fields=fields,
             location=location,
             estimated_rows=rows,
+            execution_trait=node.execution_trait,
             inputs=children,
         )
     if isinstance(op, LogicalSort):
@@ -259,6 +266,7 @@ def _to_physical(
             fields=fields,
             location=location,
             estimated_rows=rows,
+            execution_trait=node.execution_trait,
             child=children[0],
             sort_keys=op.sort_keys,
             limit=op.limit,

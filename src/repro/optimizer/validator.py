@@ -168,6 +168,28 @@ def is_compliant(plan: PhysicalPlan, evaluator: PolicyEvaluator) -> bool:
     return not check_compliance(plan, evaluator)
 
 
+def check_recovery_placement(
+    plan: PhysicalPlan, evaluator: PolicyEvaluator
+) -> list[Violation]:
+    """Re-validate a plan produced by failover re-placement.
+
+    Theorem 1 covers plans the optimizer *emits*; a runtime re-placement
+    (moving a failed fragment to a backup site, see
+    :mod:`repro.execution.recovery`) is a new plan the optimizer never
+    saw, so the execution layer must re-establish the guarantee itself:
+    every candidate placement runs through this check and is discarded
+    on any violation, keeping the end-to-end invariant "no data is ever
+    shipped to a location the dataflow policies forbid" — even during
+    recovery.  Both checkers run; strict (Definition 1) violations on a
+    plan that passes the content-based check indicate the re-placement
+    moved a masking boundary and are treated as failures too.
+    """
+    violations = check_compliance(plan, evaluator)
+    if not violations:
+        violations = check_compliance_strict(plan, evaluator)
+    return violations
+
+
 # -- strict (Definition 1) check ----------------------------------------------
 
 

@@ -27,6 +27,13 @@ class PhysicalPlan:
     fields: tuple[Field, ...]
     location: str
     estimated_rows: float = 0.0
+    #: The annotated execution trait ℰ of the operator — every location
+    #: it may legally run at (paper §6.2).  Attached by the site
+    #: selector during materialization; ``None`` on hand-built plans and
+    #: on Ship operators (a transfer has no execution site of its own).
+    #: The recovery layer restricts failover placements to ⋂ℰ of a
+    #: fragment's operators so re-placed plans stay compliant.
+    execution_trait: frozenset[str] | None = None
 
     def children(self) -> tuple["PhysicalPlan", ...]:
         return ()

@@ -1,18 +1,20 @@
 """Fragment scheduler: parallel execution equivalence and the simulated
 makespan (critical-path response time) invariants."""
 
+import time
+
 import pytest
 
 from repro.catalog import Catalog, Column, TableSchema
 from repro.datatypes import DataType
-from repro.errors import ComplianceViolationError
+from repro.errors import ComplianceViolationError, ExecutionError
 from repro.execution import (
     ExecutionEngine,
     FragmentScheduler,
     reference_plan,
 )
 from repro.geo import GeoDatabase, NetworkModel
-from repro.plan import NestedLoopJoin, Ship
+from repro.plan import NestedLoopJoin, Ship, UnionAll
 from repro.policy import PolicyCatalog, PolicyEvaluator
 from repro.sql import Binder
 
@@ -237,3 +239,96 @@ class TestGuard:
             engine.execute(bushy_join(catalog))
         # A shipless plan passes the guard and executes fine.
         assert engine.execute(scan(catalog, "emp", "L1")).row_count == 20
+
+
+class TestWorkerValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_scheduler_rejects_nonpositive_worker_counts(self, world, bad):
+        _catalog, db, network = world
+        with pytest.raises(ExecutionError, match="positive integer"):
+            FragmentScheduler(db, network, max_workers=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_engine_rejects_nonpositive_worker_counts(self, world, bad):
+        _catalog, db, network = world
+        with pytest.raises(ExecutionError, match="positive integer"):
+            ExecutionEngine(db, network, parallel=True, max_workers=bad)
+
+    def test_default_and_explicit_counts_resolve(self, world):
+        _catalog, db, network = world
+        assert FragmentScheduler(db, network).max_workers >= 1
+        assert FragmentScheduler(db, network, max_workers=3).max_workers == 3
+
+
+class TestErrorPropagation:
+    """A genuine operator failure (not an injected fault) must surface
+    unchanged, cancel pending sibling fragments, and leave the scheduler
+    reusable — never deadlock the waiting_on accounting."""
+
+    def _union_of_scans(self, catalog, n):
+        parts = tuple(
+            ship(scan(catalog, "emp", "L1"), "L1", "L3") for _ in range(n)
+        )
+        return UnionAll(fields=parts[0].fields, location="L3", inputs=parts)
+
+    def test_original_exception_propagates_and_siblings_cancel(self, world):
+        catalog, db, network = world
+        plan = self._union_of_scans(catalog, 6)
+        calls = []
+        original_rows = db.rows
+
+        def instrumented_rows(database, table):
+            calls.append(table)
+            if len(calls) == 1:
+                raise RuntimeError("boom")  # a genuine bug, not a FaultError
+            time.sleep(0.05)  # keep siblings queued while the abort runs
+            return original_rows(database, table)
+
+        db.rows = instrumented_rows
+        try:
+            scheduler = FragmentScheduler(db, network, max_workers=1)
+            with pytest.raises(RuntimeError, match="boom"):
+                scheduler.run(plan)
+        finally:
+            db.rows = original_rows
+        # The failing fragment ran; the queued siblings were cancelled
+        # (at most one may have been grabbed by the worker in the race
+        # between its completion callback and the coordinator's abort).
+        assert 1 <= len(calls) <= 2
+
+    def test_scheduler_usable_after_failure(self, world):
+        catalog, db, network = world
+        original_rows = db.rows
+        db.rows = lambda database, table: (_ for _ in ()).throw(
+            RuntimeError("boom")
+        )
+        try:
+            scheduler = FragmentScheduler(db, network, max_workers=2)
+            with pytest.raises(RuntimeError, match="boom"):
+                scheduler.run(bushy_join(catalog))
+        finally:
+            db.rows = original_rows
+        # No deadlocked state: the same scheduler runs the plan cleanly.
+        (columns, rows), metrics = scheduler.run(bushy_join(catalog))
+        assert len(rows) == 60
+        assert metrics.makespan_seconds > 0
+
+    def test_consumer_never_runs_after_producer_failure(self, world):
+        catalog, db, network = world
+        plan = bushy_join(catalog)
+        calls = []
+        original_rows = db.rows
+
+        def failing_rows(database, table):
+            calls.append(table)
+            raise RuntimeError("boom")
+
+        db.rows = failing_rows
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                FragmentScheduler(db, network, max_workers=2).run(plan)
+        finally:
+            db.rows = original_rows
+        # Only source fragments were ever attempted; the join fragment
+        # (whose inputs never completed) was not admitted.
+        assert set(calls) <= {"emp", "dept"}
