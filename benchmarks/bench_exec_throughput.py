@@ -1,0 +1,198 @@
+"""Row vs batch executor throughput on local microplans.
+
+The vectorized backend exists to kill per-row interpreter overhead, so
+this benchmark measures exactly that: rows/second through scan, scan +
+filter, hash-join, and hash-aggregate microplans on a single site (no
+WAN edges — shipping cost is the other benchmarks' subject), row backend
+vs batch backend on identical plans.
+
+Scale via ``REPRO_BENCH_EXEC_ROWS`` (default 120_000; CI smoke-runs at a
+few thousand).  Results go to the usual text report *and* to
+``benchmarks/results/BENCH_exec_throughput.json`` so the speedups are
+recorded machine-readably.  At full scale the batch backend must clear
+>= 3x on the scan+filter and aggregate microplans (the acceptance bar;
+the others are reported alongside).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.bench import format_table
+from repro.catalog import Catalog, Column, TableSchema
+from repro.datatypes import DataType
+from repro.execution import (
+    BatchOperatorExecutor,
+    ExecutionMetrics,
+    OperatorExecutor,
+    reference_plan,
+)
+from repro.expr import ColumnRef
+from repro.geo import GeoDatabase, synthetic_network
+from repro.plan import HashJoin
+from repro.sql import Binder
+
+ROWS = int(os.environ.get("REPRO_BENCH_EXEC_ROWS", "120000"))
+REPETITIONS = int(os.environ.get("REPRO_BENCH_EXEC_REPS", "3"))
+#: The acceptance bar applies at a scale where per-row overhead (not
+#: constant costs) dominates; the CI smoke run only checks sanity.
+FULL_SCALE = ROWS >= 50_000
+REQUIRED_SPEEDUP = {"scan_filter": 3.0, "aggregate": 3.0}
+
+
+@pytest.fixture(scope="module")
+def world():
+    import random
+
+    rng = random.Random(7)
+    rows = [
+        (
+            i,
+            rng.randrange(20),
+            rng.randrange(1000),
+            rng.random() * 1000,
+            f"name{i % 97:05d}",
+        )
+        for i in range(ROWS)
+    ]
+    dim_rows = [(k, f"dim{k}") for k in range(0, ROWS, 40)]
+
+    catalog = Catalog()
+    catalog.add_database("db0", "L0")
+    catalog.add_table(
+        "db0",
+        TableSchema(
+            "t",
+            (
+                Column("k", DataType.INTEGER),
+                Column("g", DataType.INTEGER),
+                Column("b", DataType.INTEGER),
+                Column("c", DataType.DECIMAL),
+                Column("s", DataType.VARCHAR),
+            ),
+        ),
+    )
+    catalog.add_table(
+        "db0",
+        TableSchema(
+            "u",
+            (Column("k", DataType.INTEGER), Column("y", DataType.VARCHAR)),
+        ),
+    )
+    database = GeoDatabase(catalog)
+    database.load("db0", "t", rows)
+    database.load("db0", "u", dim_rows)
+    return catalog, database
+
+
+def _microplans(catalog):
+    binder = Binder(catalog)
+
+    def bound(sql):
+        return reference_plan(binder.bind_sql(sql))
+
+    t_scan = bound("SELECT * FROM t")
+    u_scan = bound("SELECT * FROM u")
+    join = HashJoin(
+        fields=tuple(t_scan.fields) + tuple(u_scan.fields),
+        location="reference",
+        left=t_scan,
+        right=u_scan,
+        left_keys=(ColumnRef(t_scan.field_names[0], DataType.INTEGER),),
+        right_keys=(ColumnRef(u_scan.field_names[0], DataType.INTEGER),),
+    )
+    return {
+        "scan": bound("SELECT k, b FROM t"),
+        "scan_filter": bound("SELECT k, b FROM t WHERE b > 500 AND c < 800"),
+        "join": join,
+        "aggregate": bound(
+            "SELECT g, COUNT(*) AS n, SUM(b) AS sb, AVG(c) AS ac, "
+            "MIN(c) AS lo, MAX(c) AS hi FROM t GROUP BY g"
+        ),
+    }
+
+
+def _best_seconds(executor_cls, database, network, plan):
+    """Best-of-N wall clock (least interference), plus the last output."""
+    best = float("inf")
+    out = None
+    for _ in range(REPETITIONS):
+        executor = executor_cls(database, network, ExecutionMetrics())
+        start = time.perf_counter()
+        out = executor.run(plan)
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def test_exec_throughput(world, report):
+    catalog, database = world
+    network = synthetic_network(["L0"])
+    database.columns("db0", "t")  # warm the columnar cache once
+    database.columns("db0", "u")
+
+    results = {}
+    table_rows = []
+    for name, plan in _microplans(catalog).items():
+        row_seconds, row_out = _best_seconds(
+            OperatorExecutor, database, network, plan
+        )
+        batch_seconds, batch_out = _best_seconds(
+            BatchOperatorExecutor, database, network, plan
+        )
+        assert batch_out.columns == row_out.columns
+        assert batch_out.rows == row_out.rows  # row-identical, ordered
+        speedup = row_seconds / batch_seconds
+        results[name] = {
+            "rows_in": ROWS,
+            "rows_out": len(row_out.rows),
+            "row_seconds": row_seconds,
+            "batch_seconds": batch_seconds,
+            "row_rows_per_sec": ROWS / row_seconds,
+            "batch_rows_per_sec": ROWS / batch_seconds,
+            "speedup": speedup,
+        }
+        table_rows.append(
+            [
+                name,
+                len(row_out.rows),
+                f"{ROWS / row_seconds:,.0f}",
+                f"{ROWS / batch_seconds:,.0f}",
+                f"{speedup:.2f}x",
+            ]
+        )
+
+    payload = {
+        "rows": ROWS,
+        "repetitions": REPETITIONS,
+        "full_scale": FULL_SCALE,
+        "microplans": results,
+    }
+    out_dir = report.directory
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "BENCH_exec_throughput.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    report.emit(
+        "exec_throughput",
+        format_table(
+            ["microplan", "rows out", "row rows/s", "batch rows/s", "speedup"],
+            table_rows,
+            title=f"Executor throughput, {ROWS:,} input rows (best of "
+            f"{REPETITIONS})",
+        ),
+    )
+
+    for name, required in REQUIRED_SPEEDUP.items():
+        if FULL_SCALE:
+            assert results[name]["speedup"] >= required, (
+                f"{name}: batch executor only {results[name]['speedup']:.2f}x "
+                f"faster, needs >= {required}x at full scale"
+            )
+        else:
+            # Smoke scale: constant costs dominate; just require the
+            # batch backend isn't pathologically slower.
+            assert results[name]["speedup"] >= 0.8, (name, results[name])

@@ -9,6 +9,7 @@ curated policy sets, and both optimizers:
                                            [--traits] [--result-location L]
     python -m repro run      "SELECT ..."  [--set CR] [--scale 0.005]
                                            [--parallel] [--workers N]
+                                           [--executor {row,batch}]
                                            [--explain-fragments]
                                            [--faults SPEC] [--retries N]
                                            [--fragment-timeout S]
@@ -107,6 +108,14 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="thread-pool size for --parallel (default: min(8, #cores))",
+    )
+    run.add_argument(
+        "--executor",
+        default="row",
+        choices=["row", "batch"],
+        help="operator backend: tuple-at-a-time 'row' (default) or the "
+        "columnar 'batch' executor with compiled batch kernels "
+        "(row-identical results; see docs/EXECUTION.md)",
     )
     run.add_argument(
         "--explain-fragments",
@@ -211,6 +220,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         faults=faults,
         retry_policy=retry_policy,
+        executor=args.executor,
     )
     output = engine.execute(result.plan)
     print("\t".join(output.columns))

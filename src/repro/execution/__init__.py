@@ -8,7 +8,8 @@ from .metrics import (
     RecoveryRecord,
     ShipRecord,
 )
-from .operators import OperatorExecutor, actual_bytes
+from .operators import OperatorExecutor, RowBatch, actual_bytes
+from .vectorized import BatchOperatorExecutor, ColumnBatch, column_bytes
 from .fragments import (
     Fragment,
     FragmentDAG,
@@ -32,7 +33,12 @@ from .recovery import (
     failover_candidates,
     relocate_fragment,
 )
-from .scheduler import FragmentScheduler, validate_worker_count
+from .scheduler import (
+    EXECUTOR_BACKENDS,
+    FragmentScheduler,
+    validate_executor_name,
+    validate_worker_count,
+)
 from .engine import ExecutionEngine, ExecutionResult
 from .reference import reference_plan
 
@@ -44,7 +50,11 @@ __all__ = [
     "RecoveryRecord",
     "ShipRecord",
     "OperatorExecutor",
+    "RowBatch",
     "actual_bytes",
+    "BatchOperatorExecutor",
+    "ColumnBatch",
+    "column_bytes",
     "Fragment",
     "FragmentDAG",
     "FragmentInput",
@@ -63,6 +73,8 @@ __all__ = [
     "failover_candidates",
     "relocate_fragment",
     "FragmentScheduler",
+    "EXECUTOR_BACKENDS",
+    "validate_executor_name",
     "validate_worker_count",
     "ExecutionEngine",
     "ExecutionResult",

@@ -17,6 +17,11 @@ Two execution modes produce row-identical results:
   concurrently on a thread pool while an event-driven simulation
   computes ``makespan_seconds``, the critical-path response time under
   the ``α + β·bytes`` model (:mod:`repro.execution.scheduler`).
+
+Orthogonally, ``executor`` selects the operator backend for either mode:
+``"row"`` (tuple-at-a-time, the default) or ``"batch"`` (columnar with
+compiled batch kernels, :mod:`repro.execution.vectorized`) — also
+row-identical by construction; see docs/EXECUTION.md.
 """
 
 from __future__ import annotations
@@ -31,9 +36,13 @@ from ..plan import PhysicalPlan
 from ..policy import PolicyEvaluator
 from .faults import FaultPlan
 from .metrics import ExecutionMetrics, PartialFailure
-from .operators import OperatorExecutor
 from .recovery import RetryPolicy
-from .scheduler import FragmentScheduler, validate_worker_count
+from .scheduler import (
+    EXECUTOR_BACKENDS,
+    FragmentScheduler,
+    validate_executor_name,
+    validate_worker_count,
+)
 
 
 @dataclass
@@ -87,6 +96,7 @@ class ExecutionEngine:
         max_workers: int | None = None,
         faults: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        executor: str = "row",
     ) -> None:
         validate_worker_count(max_workers)  # reject 0/negative up front
         self.database = database
@@ -96,6 +106,7 @@ class ExecutionEngine:
         self.max_workers = max_workers
         self.faults = faults
         self.retry_policy = retry_policy
+        self.executor = validate_executor_name(executor)
         if faults and not parallel:
             raise ExecutionError(
                 "fault injection requires the fragment scheduler; construct "
@@ -134,11 +145,14 @@ class ExecutionEngine:
                 faults=self.faults,
                 retry_policy=self.retry_policy,
                 compliance_guard=self.policy_guard,
+                executor=self.executor,
             )
             (columns, rows), metrics = scheduler.run(plan)
         else:
             metrics = ExecutionMetrics()
-            executor = OperatorExecutor(self.database, self.network, metrics)
+            executor = EXECUTOR_BACKENDS[self.executor](
+                self.database, self.network, metrics
+            )
             columns, rows = executor.run(plan)
         elapsed = time.perf_counter() - start
         metrics.rows_output = len(rows)

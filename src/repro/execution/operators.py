@@ -30,7 +30,7 @@ from ..plan import (
 from .metrics import ExecutionMetrics
 
 Row = tuple
-Result = tuple[list[str], list[Row]]  # (column names, rows)
+Result = tuple[list[str], list[Row]]  # (column names, rows) — unpacked shape
 
 
 def actual_bytes(rows: Sequence[Row]) -> int:
@@ -61,6 +61,36 @@ def actual_bytes(rows: Sequence[Row]) -> int:
     return total
 
 
+class RowBatch:
+    """Materialized operator output: column names plus row tuples.
+
+    Unpacks like the ``(columns, rows)`` tuple it replaced, and caches
+    the measured wire size (:attr:`nbytes`) so repeated SHIP attempts —
+    the fault scheduler's retry and failover re-delivery paths — never
+    re-measure an O(rows) byte count for the same batch.
+    """
+
+    __slots__ = ("columns", "rows", "_nbytes")
+
+    def __init__(
+        self, columns: list[str], rows: list[Row], nbytes: int | None = None
+    ) -> None:
+        self.columns = columns
+        self.rows = rows
+        self._nbytes = nbytes
+
+    def __iter__(self):
+        yield self.columns
+        yield self.rows
+
+    @property
+    def nbytes(self) -> int:
+        """Measured wire size of the batch, computed once."""
+        if self._nbytes is None:
+            self._nbytes = actual_bytes(self.rows)
+        return self._nbytes
+
+
 class OperatorExecutor:
     """Recursive evaluator for located physical plans.
 
@@ -80,19 +110,21 @@ class OperatorExecutor:
         self.metrics = metrics
         self._child_seconds: list[float] = []
 
-    def run(self, node: PhysicalPlan) -> Result:
+    def run(self, node: PhysicalPlan) -> RowBatch:
         self.metrics.operators_executed += 1
         start = time.perf_counter()
         self._child_seconds.append(0.0)
-        columns, rows = self._dispatch(node)
+        result = self._dispatch(node)
+        if not isinstance(result, RowBatch):
+            result = RowBatch(*result)
         elapsed = time.perf_counter() - start
         child_seconds = self._child_seconds.pop()
         if self._child_seconds:
             self._child_seconds[-1] += elapsed
         self.metrics.record_operator(
-            node.describe(), node.location, len(rows), elapsed - child_seconds
+            node.describe(), node.location, len(result.rows), elapsed - child_seconds
         )
-        return columns, rows
+        return result
 
     def _dispatch(self, node: PhysicalPlan) -> Result:
         if isinstance(node, TableScan):
@@ -156,14 +188,13 @@ class OperatorExecutor:
             rows = rows[: node.limit]
         return columns, rows
 
-    def _ship(self, node: Ship) -> Result:
+    def _ship(self, node: Ship) -> RowBatch:
         assert node.child is not None
-        columns, rows = self.run(node.child)
-        nbytes = actual_bytes(rows)
+        batch = self.run(node.child)
         self.metrics.record_ship(
-            self.network, node.source, node.target, len(rows), nbytes
+            self.network, node.source, node.target, len(batch.rows), batch.nbytes
         )
-        return columns, rows
+        return batch
 
     # -- joins -----------------------------------------------------------------
 

@@ -77,8 +77,9 @@ from .metrics import (
     RecoveryRecord,
     ShipRecord,
 )
-from .operators import OperatorExecutor, Result, actual_bytes
+from .operators import OperatorExecutor, RowBatch
 from .recovery import FailoverPlanner, RetryPolicy
+from .vectorized import BatchOperatorExecutor, ColumnBatch
 
 
 def validate_worker_count(max_workers: int | None) -> int:
@@ -109,18 +110,67 @@ class _FragmentExecutor(OperatorExecutor):
         database: GeoDatabase,
         network: NetworkModel,
         metrics: ExecutionMetrics,
-        ship_results: dict[int, Result],
+        ship_results: dict[int, RowBatch],
     ) -> None:
         super().__init__(database, network, metrics)
         self._ship_results = ship_results
 
-    def _ship(self, node: Ship) -> Result:
+    def _ship(self, node: Ship) -> RowBatch:
         try:
             return self._ship_results[id(node)]
         except KeyError:  # pragma: no cover - guards a fragmenter invariant
             raise ExecutionError(
                 f"fragment body contains an un-cut SHIP ({node.describe()})"
             ) from None
+
+
+class _BatchFragmentExecutor(BatchOperatorExecutor):
+    """Columnar twin of :class:`_FragmentExecutor`: cut SHIP leaves are
+    where shipped row batches re-enter columnar form (the SHIP-boundary
+    conversion rule — fragments always exchange rows)."""
+
+    def __init__(
+        self,
+        database: GeoDatabase,
+        network: NetworkModel,
+        metrics: ExecutionMetrics,
+        ship_results: dict[int, RowBatch],
+    ) -> None:
+        super().__init__(database, network, metrics)
+        self._ship_results = ship_results
+
+    def _ship(self, node: Ship) -> ColumnBatch:
+        try:
+            batch = self._ship_results[id(node)]
+        except KeyError:  # pragma: no cover - guards a fragmenter invariant
+            raise ExecutionError(
+                f"fragment body contains an un-cut SHIP ({node.describe()})"
+            ) from None
+        return ColumnBatch.from_rows(batch.columns, batch.rows)
+
+
+#: Sequential executor backend per ``--executor`` name.
+EXECUTOR_BACKENDS: dict[str, type] = {
+    "row": OperatorExecutor,
+    "batch": BatchOperatorExecutor,
+}
+
+#: Fragment-body twin of each backend (cut-SHIP leaves resolved from
+#: already-computed producer results).
+_FRAGMENT_EXECUTORS: dict[str, type] = {
+    "row": _FragmentExecutor,
+    "batch": _BatchFragmentExecutor,
+}
+
+
+def validate_executor_name(executor: str) -> str:
+    """Reject unknown executor backends with a clear error up front."""
+    if executor not in EXECUTOR_BACKENDS:
+        known = ", ".join(sorted(EXECUTOR_BACKENDS))
+        raise ExecutionError(
+            f"unknown executor backend {executor!r}; expected one of: {known}"
+        )
+    return executor
 
 
 class FragmentScheduler:
@@ -135,6 +185,7 @@ class FragmentScheduler:
         faults: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         compliance_guard=None,  # PolicyEvaluator | None
+        executor: str = "row",
     ) -> None:
         self.database = database
         self.network = network
@@ -142,8 +193,9 @@ class FragmentScheduler:
         self.faults = faults if faults is not None else FaultPlan()
         self.retry_policy = retry_policy or RetryPolicy()
         self.compliance_guard = compliance_guard
+        self.executor = validate_executor_name(executor)
 
-    def run(self, plan: PhysicalPlan) -> tuple[Result, ExecutionMetrics]:
+    def run(self, plan: PhysicalPlan) -> tuple[RowBatch, ExecutionMetrics]:
         """Execute ``plan``; returns the root result and plan metrics
         (fragment records, ship records, recoveries, and
         ``makespan_seconds``).  Under fault injection an unrecoverable
@@ -153,7 +205,7 @@ class FragmentScheduler:
         run.execute()
         metrics = run.account()
         if run.failure is not None:
-            return (list(plan.field_names), []), metrics
+            return RowBatch(list(plan.field_names), []), metrics
         return run.results[run.dag.root_index][0], metrics
 
 
@@ -179,7 +231,7 @@ class _ChaosRun:
             evaluator=scheduler.compliance_guard,
             all_locations=frozenset(scheduler.database.catalog.locations),
         )
-        self.results: dict[int, tuple[Result, float]] = {}
+        self.results: dict[int, tuple[RowBatch, float]] = {}
         self.fragment_metrics: dict[int, ExecutionMetrics] = {
             f.index: ExecutionMetrics() for f in self.dag.fragments
         }
@@ -195,16 +247,15 @@ class _ChaosRun:
         self.failure: PartialFailure | None = None
         #: Sites a fragment has already failed at (never retried).
         self._excluded: dict[int, set[str]] = {}
-        self._bytes_cache: dict[int, int] = {}
 
     # -- worker side -----------------------------------------------------------
 
-    def _compute(self, fragment: Fragment) -> tuple[Result, float]:
+    def _compute(self, fragment: Fragment) -> tuple[RowBatch, float]:
         ship_results = {
             id(entry.ship): self.results[entry.producer][0]
             for entry in fragment.inputs
         }
-        executor = _FragmentExecutor(
+        executor = _FRAGMENT_EXECUTORS[self.scheduler.executor](
             self.scheduler.database,
             self.scheduler.network,
             self.fragment_metrics[fragment.index],
@@ -361,11 +412,10 @@ class _ChaosRun:
         instant and the record of the successful attempt."""
         producer = self.dag.fragments[producer_index]
         source = producer.location
-        (columns, rows), _compute = self.results[producer_index]
-        nbytes = self._bytes_cache.get(producer_index)
-        if nbytes is None:
-            nbytes = actual_bytes(rows)
-            self._bytes_cache[producer_index] = nbytes
+        batch, _compute = self.results[producer_index]
+        # The measurement is cached on the batch itself, so retry and
+        # failover re-deliveries of the same output are O(1) here.
+        nbytes = batch.nbytes
         begin = max(self.ready[producer_index], not_before)
         timeout = self.policy.fragment_timeout
         now = begin
@@ -408,7 +458,7 @@ class _ChaosRun:
             record = ShipRecord(
                 source=source,
                 target=target_site,
-                rows=len(rows),
+                rows=len(batch.rows),
                 bytes=nbytes,
                 seconds=seconds,
                 attempts=attempts,
@@ -485,7 +535,8 @@ class _ChaosRun:
                 merged.ships.append(record)
             if index not in self.results:
                 continue  # never ran (aborted by a partial failure)
-            (_columns, rows), compute = self.results[index]
+            batch, compute = self.results[index]
+            rows = batch.rows
             start = self.ready.get(index, 0.0)
             finish = self.delivered.get(index, start)
             site_clock[fragment.location] = max(

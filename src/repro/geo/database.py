@@ -24,6 +24,7 @@ class GeoDatabase:
     def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
         self._data: dict[tuple[str, str], list[Row]] = {}
+        self._columns: dict[tuple[str, str], list[tuple]] = {}
 
     def load(
         self,
@@ -57,6 +58,7 @@ class GeoDatabase:
                             f"{stored.qualified_name}.{col.name} ({col.dtype})"
                         )
         self._data[(database, table.lower())] = materialized
+        self._columns.pop((database, table.lower()), None)
         if update_stats:
             stored.stats = stats_from_rows(stored.schema, materialized)
         return stored
@@ -68,6 +70,23 @@ class GeoDatabase:
             raise CatalogError(
                 f"no data loaded for {database}.{table}"
             ) from None
+
+    def columns(self, database: str, table: str) -> list[tuple]:
+        """The stored fragment in columnar form (one tuple per column),
+        transposed once and cached — the batch executor's scan path.
+        Callers must treat the columns as read-only; the cache is
+        invalidated when :meth:`load` replaces the fragment."""
+        key = (database, table.lower())
+        cached = self._columns.get(key)
+        if cached is None:
+            rows = self.rows(database, table)
+            if rows:
+                cached = list(zip(*rows))
+            else:
+                width = len(self.catalog.stored_table(database, table).schema.columns)
+                cached = [() for _ in range(width)]
+            self._columns[key] = cached
+        return cached
 
     def has_data(self, database: str, table: str) -> bool:
         return (database, table.lower()) in self._data

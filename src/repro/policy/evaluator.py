@@ -42,12 +42,20 @@ class PolicyEvalStats:
     ``eta`` counts how often an expression was *applied* — one or more of
     its ship attributes appear in the query output and the implication
     test passed (Algorithm 1 reaching line 4).
+
+    ``implication_cache_hits`` / ``implication_cache_misses`` split
+    ``implication_checks`` by whether the (query predicate, policy
+    predicate) pair had already been decided — only misses pay for a
+    structural implication proof, so the hit rate is what makes repeated
+    evaluation over a large policy set affordable.
     """
 
     evaluations: int = 0
     expressions_scanned: int = 0
     implication_checks: int = 0
     implication_passes: int = 0
+    implication_cache_hits: int = 0
+    implication_cache_misses: int = 0
     eta: int = 0
 
     def reset(self) -> None:
@@ -55,6 +63,8 @@ class PolicyEvalStats:
         self.expressions_scanned = 0
         self.implication_checks = 0
         self.implication_passes = 0
+        self.implication_cache_hits = 0
+        self.implication_cache_misses = 0
         self.eta = 0
 
 
@@ -134,8 +144,11 @@ class PolicyEvaluator:
         key = (query_predicate, policy_predicate)
         cached = self._implication_cache.get(key)
         if cached is None:
+            self.stats.implication_cache_misses += 1
             cached = implies(query_predicate, policy_predicate)
             self._implication_cache[key] = cached
+        else:
+            self.stats.implication_cache_hits += 1
         if cached:
             self.stats.implication_passes += 1
         return cached

@@ -74,6 +74,25 @@ class TestGeoDatabase:
         assert catalog.stored_table("db1", "t").stats.row_count == 3
         assert catalog.stored_table("db1", "t").stats.columns["a"].distinct_count == 2
 
+    def test_columns_transposes_and_caches(self, world):
+        _, db = world
+        db.load("db1", "t", [(1, "x"), (2, "y")])
+        cols = db.columns("db1", "t")
+        assert cols == [(1, 2), ("x", "y")]
+        assert db.columns("db1", "T") is cols  # cached, case-insensitive
+
+    def test_columns_empty_table_has_schema_width(self, world):
+        _, db = world
+        db.load("db1", "t", [])
+        assert db.columns("db1", "t") == [(), ()]
+
+    def test_columns_cache_invalidated_on_reload(self, world):
+        _, db = world
+        db.load("db1", "t", [(1, "x")])
+        assert db.columns("db1", "t") == [(1,), ("x",)]
+        db.load("db1", "t", [(2, "y"), (3, "z")])
+        assert db.columns("db1", "t") == [(2, 3), ("y", "z")]
+
     def test_row_width_mismatch_rejected(self, world):
         _, db = world
         with pytest.raises(ExecutionError):

@@ -41,7 +41,19 @@ def world(tpch_small, tpch_network):
     traditional = TraditionalOptimizer(catalog, tpch_network)
     sequential = ExecutionEngine(database, tpch_network)
     parallel = ExecutionEngine(database, tpch_network, parallel=True)
-    return catalog, compliant, traditional, sequential, parallel
+    batch_sequential = ExecutionEngine(database, tpch_network, executor="batch")
+    batch_parallel = ExecutionEngine(
+        database, tpch_network, parallel=True, executor="batch"
+    )
+    return (
+        catalog,
+        compliant,
+        traditional,
+        sequential,
+        parallel,
+        batch_sequential,
+        batch_parallel,
+    )
 
 
 def assert_makespan_invariants(plan, metrics):
@@ -54,7 +66,9 @@ def assert_makespan_invariants(plan, metrics):
     return pairs
 
 
-def check_equivalence(catalog, optimizer, sequential, parallel, sql):
+def check_equivalence(
+    catalog, optimizer, sequential, parallel, sql, batch_engines=()
+):
     core, _sort = _strip_sort(Binder(catalog).bind_sql(sql))
     expected = rows_as_multiset(
         sequential.execute(reference_plan(normalize(core))).rows
@@ -67,20 +81,42 @@ def check_equivalence(catalog, optimizer, sequential, parallel, sql):
     assert par_run.columns == seq_run.columns
     assert par_run.metrics.total_bytes_shipped == seq_run.metrics.total_bytes_shipped
     assert par_run.metrics.operators_executed == seq_run.metrics.operators_executed
+    for batch_engine in batch_engines:
+        # The batch executor preserves the row backend's exact iteration
+        # orders, so its output must be *row-identical* (ordered), not
+        # just multiset-equal — and its SHIP byte accounting, computed
+        # from columns, must bill the same bytes.
+        batch_run = batch_engine.execute(plan)
+        assert batch_run.columns == seq_run.columns
+        assert batch_run.rows == seq_run.rows
+        assert (
+            batch_run.metrics.total_bytes_shipped
+            == seq_run.metrics.total_bytes_shipped
+        )
+        assert (
+            batch_run.metrics.operators_executed
+            == seq_run.metrics.operators_executed
+        )
     pairs = assert_makespan_invariants(plan, par_run.metrics)
     return par_run, pairs
 
 
 @pytest.mark.parametrize("name", list(QUERIES))
 def test_tpch_compliant_plans(world, name):
-    catalog, compliant, _traditional, sequential, parallel = world
-    check_equivalence(catalog, compliant, sequential, parallel, QUERIES[name])
+    catalog, compliant, _traditional, sequential, parallel, batch_seq, batch_par = world
+    check_equivalence(
+        catalog, compliant, sequential, parallel, QUERIES[name],
+        batch_engines=(batch_seq, batch_par),
+    )
 
 
 @pytest.mark.parametrize("name", list(QUERIES))
 def test_tpch_traditional_plans(world, name):
-    catalog, _compliant, traditional, sequential, parallel = world
-    check_equivalence(catalog, traditional, sequential, parallel, QUERIES[name])
+    catalog, _compliant, traditional, sequential, parallel, batch_seq, batch_par = world
+    check_equivalence(
+        catalog, traditional, sequential, parallel, QUERIES[name],
+        batch_engines=(batch_seq, batch_par),
+    )
 
 
 #: Per-adhoc-query independent-pair counts, recorded as the equivalence
@@ -92,10 +128,11 @@ _ADHOC_PAIRS: dict[int, int] = {}
     "index", range(len(ADHOC_QUERIES)), ids=lambda i: f"adhoc{i:02d}"
 )
 def test_randomized_adhoc_queries(world, index):
-    catalog, _compliant, traditional, sequential, parallel = world
+    catalog, _compliant, traditional, sequential, parallel, batch_seq, batch_par = world
     query = ADHOC_QUERIES[index]
     _run, pairs = check_equivalence(
-        catalog, traditional, sequential, parallel, query.sql
+        catalog, traditional, sequential, parallel, query.sql,
+        batch_engines=(batch_seq, batch_par),
     )
     _ADHOC_PAIRS[index] = pairs
 
@@ -123,11 +160,59 @@ def test_fragmented_union_plans(tpch_network):
     compliant = CompliantOptimizer(catalog, policies, tpch_network)
     sequential = ExecutionEngine(database, tpch_network)
     parallel = ExecutionEngine(database, tpch_network, parallel=True)
+    batch_engines = (
+        ExecutionEngine(database, tpch_network, executor="batch"),
+        ExecutionEngine(database, tpch_network, parallel=True, executor="batch"),
+    )
     sql = """
         SELECT c.c_mktsegment, COUNT(*) AS n, SUM(o.o_totalprice) AS total
         FROM customer c, orders o
         WHERE c.c_custkey = o.o_custkey AND o.o_totalprice > 1000
         GROUP BY c.c_mktsegment
     """
-    run, _pairs = check_equivalence(catalog, compliant, sequential, parallel, sql)
+    run, _pairs = check_equivalence(
+        catalog, compliant, sequential, parallel, sql, batch_engines=batch_engines
+    )
     assert len(run.metrics.fragments) >= 3
+
+
+def test_batch_executor_under_transient_chaos(world):
+    """The batch backend rides the fault scheduler's retry paths
+    unchanged: under seeded transient fault plans it must stay
+    row-identical to the fault-free row executor on every curated
+    TPC-H query, with at least one combo actually retrying."""
+    from repro.execution import FaultPlan, RetryPolicy
+
+    catalog, compliant, _trad, sequential, _par, _bseq, _bpar = world
+    database = sequential.database
+    network = sequential.network
+    retried = 0
+    for name, sql in sorted(QUERIES.items()):
+        core, _sort = _strip_sort(Binder(catalog).bind_sql(sql))
+        plan = compliant.optimize(core).plan
+        baseline = sequential.execute(plan)
+        pairs = [
+            (s.source, s.target)
+            for s in baseline.metrics.ships
+            if s.source != s.target
+        ]
+        for seed in (0, 1, 2):
+            faults = FaultPlan.random(seed, catalog.locations, pairs=pairs or None)
+            chaotic = ExecutionEngine(
+                database,
+                network,
+                parallel=True,
+                executor="batch",
+                faults=faults,
+                retry_policy=RetryPolicy(max_retries=6),
+                policy_guard=compliant.evaluator,
+            )
+            result = chaotic.execute(plan)
+            key = (name, seed, str(faults))
+            assert result.partial_failure is None, key
+            assert result.columns == baseline.columns, key
+            assert rows_as_multiset(result.rows) == rows_as_multiset(
+                baseline.rows
+            ), key
+            retried += result.metrics.transfer_attempts > len(result.metrics.ships)
+    assert retried >= 3  # the chaos actually bit somewhere
