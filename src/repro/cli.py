@@ -13,15 +13,22 @@ curated policy sets, and both optimizers:
                                            [--explain-fragments]
                                            [--faults SPEC] [--retries N]
                                            [--fragment-timeout S]
+    python -m repro serve    workload.json [--set CR] [--scale 0.005]
+                                           [--concurrency N] [--queue-depth N]
+                                           [--deadline S] [--site-inflight N]
+                                           [--faults SPEC] [--retries N]
+                                           [--breaker-threshold F]
+                                           [--breaker-cooldown S] [--no-breakers]
     python -m repro audit    "SELECT ..."  [--set CR]
     python -m repro policies [--set CR]
     python -m repro queries                      # the six TPC-H queries
 
 Named queries (``Q2``, ``Q3``, ``Q5``, ``Q8``, ``Q9``, ``Q10``) may be
-used in place of SQL text.
+used in place of SQL text (in ``serve`` workload files too).
 
 Exit codes: 0 success, 1 error, 2 query rejected as non-compliant,
-3 injected faults degraded the query to a partial-failure result.
+3 injected faults degraded the query to a partial-failure result (or,
+for ``serve``, degraded at least one workload query).
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ from .optimizer import (
 )
 from .plan import explain_annotated, explain_physical
 from .policy import PolicyEvaluator, describe_local_query
+from .server import BreakerConfig, BreakerRegistry, QueryServer, load_workload
 from .sql import Binder
 from .tpch import (
     LOCATIONS,
@@ -145,6 +153,111 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="cap each fragment's input-delivery span on the simulated "
         "clock; exceeding it triggers failover (default: no cap)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a JSON workload file through the concurrent query "
+        "server (admission control, circuit breakers, load shedding)",
+    )
+    serve.add_argument(
+        "workload",
+        help="JSON workload file: a list of requests with query/arrival/"
+        "deadline/priority fields (query = SQL or Q2..Q10)",
+    )
+    serve.add_argument(
+        "--set",
+        dest="policy_set",
+        default="CR",
+        choices=["T", "C", "CR", "CR+A"],
+        help="curated policy-expression set (default: CR)",
+    )
+    serve.add_argument(
+        "--scale", type=float, default=0.005, help="TPC-H data scale (default 0.005)"
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        metavar="N",
+        help="queries in service at once (default 4)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        metavar="N",
+        help="bounded waiting-queue size; arrivals beyond it are "
+        "rejected with a typed AdmissionRejected (default 16)",
+    )
+    serve.add_argument(
+        "--site-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-site in-flight fragment limit (default: unlimited)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-query deadline in simulated seconds after "
+        "arrival; past-deadline queries are shed (default: none)",
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject WAN faults; same grammar as 'run --faults'",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max retries per transfer under --faults (default 3)",
+    )
+    serve.add_argument(
+        "--fragment-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cap each fragment's input-delivery span (default: no cap)",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help="failure fraction of the rolling window that opens a "
+        "per-link circuit breaker (default 0.5)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="simulated seconds an open breaker waits before "
+        "half-opening (default 0.5)",
+    )
+    serve.add_argument(
+        "--no-breakers",
+        action="store_true",
+        help="disable circuit breakers (every transfer retries even on "
+        "a link that keeps failing)",
+    )
+    serve.add_argument(
+        "--executor",
+        default="row",
+        choices=["row", "batch"],
+        help="operator backend (default: row)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread-pool size per query (default: min(8, #cores))",
     )
 
     audit = sub.add_parser(
@@ -269,6 +382,64 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    requests = load_workload(args.workload, resolve=_resolve_sql)
+    catalog, database = build_benchmark(scale=args.scale, stats_scale=1.0)
+    network = default_network()
+    policy_catalog = curated_policies(catalog, args.policy_set)
+    optimizer = CompliantOptimizer(catalog, policy_catalog, network)
+    faults = (
+        parse_fault_spec(args.faults, locations=catalog.locations)
+        if args.faults is not None
+        else None
+    )
+    retry_policy = None
+    if args.retries is not None or args.fragment_timeout is not None:
+        defaults = RetryPolicy()
+        retry_policy = RetryPolicy(
+            max_retries=defaults.max_retries if args.retries is None else args.retries,
+            fragment_timeout=args.fragment_timeout,
+        )
+    breakers = None
+    if not args.no_breakers:
+        breakers = BreakerRegistry(
+            BreakerConfig(
+                failure_threshold=args.breaker_threshold,
+                cooldown=args.breaker_cooldown,
+            )
+        )
+    server = QueryServer(
+        database,
+        network,
+        optimizer=optimizer,
+        evaluator=optimizer.evaluator,
+        concurrency=args.concurrency,
+        queue_depth=args.queue_depth,
+        site_inflight=args.site_inflight,
+        default_deadline=args.deadline,
+        breakers=breakers,
+        faults=faults,
+        retry_policy=retry_policy,
+        executor=args.executor,
+        max_workers=args.workers,
+    )
+    result = server.serve(requests)
+    for outcome in result.outcomes:
+        print(outcome.describe())
+    print(f"\n{result.metrics.summary()}", file=sys.stderr)
+    if faults is not None:
+        print(f"injected faults: {faults}", file=sys.stderr)
+    if breakers is not None and result.metrics.breaker_states:
+        states = ", ".join(
+            f"{link}={state}" for link, state in result.metrics.breaker_states.items()
+        )
+        print(f"breakers: {states}", file=sys.stderr)
+    if not result.metrics.reconciles():  # pragma: no cover - defensive
+        print("error: outcome buckets do not reconcile", file=sys.stderr)
+        return 1
+    return 3 if result.metrics.partial else 0
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
     catalog = build_catalog(scale=1.0)
     policy_catalog = curated_policies(catalog, args.policy_set)
@@ -303,6 +474,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "explain": _cmd_explain,
         "run": _cmd_run,
+        "serve": _cmd_serve,
         "audit": _cmd_audit,
         "policies": _cmd_policies,
         "queries": _cmd_queries,

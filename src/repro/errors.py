@@ -61,6 +61,29 @@ class ExecutionError(ReproError):
     """Raised on errors while executing a physical plan."""
 
 
+class InvalidParameterError(ExecutionError):
+    """A tuning knob (worker count, concurrency, queue depth, timeout,
+    retry budget, ...) was given an out-of-range value.  Raised by the
+    shared validators in :mod:`repro.validation` so every entry point —
+    CLI flags, engine/scheduler/server constructors — fails with the
+    same typed error and message shape."""
+
+
+class UnknownLinkError(ExecutionError):
+    """A transfer touched a ``(source, target)`` pair the network model
+    does not describe, and the model was built in strict mode.
+
+    Non-strict models silently substitute a pessimistic default link;
+    strict models refuse, so a mis-deployed catalog surfaces as one
+    typed error from the row and batch SHIP paths alike instead of a
+    silently mispriced plan (or a bare ``KeyError`` from a lookup)."""
+
+    def __init__(self, message: str, source: str, target: str) -> None:
+        self.source = source
+        self.target = target
+        super().__init__(message)
+
+
 class FaultError(ExecutionError):
     """Base class of injected-fault failures surfaced by the execution
     layer (site crashes, link failures, exhausted retries, timeouts).
@@ -85,6 +108,20 @@ class TransferError(FaultError):
         super().__init__(message)
 
 
+class CircuitOpenError(TransferError):
+    """A transfer was refused because the per-link circuit breaker is
+    open: recent attempts on this link failed at or above the breaker's
+    failure-rate threshold, so the attempt fast-fails instead of
+    burning retry backoff against a link that is known to be bad.
+
+    Never transient — the retry loop must not hammer an open breaker;
+    the scheduler instead consults failover immediately, and the
+    breaker itself re-probes the link after its cooldown (half-open)."""
+
+    def __init__(self, message: str, source: str, target: str) -> None:
+        super().__init__(message, source=source, target=target, transient=False)
+
+
 class SiteUnavailableError(FaultError):
     """A site needed by a fragment (its execution site, or the endpoint
     of one of its transfers) has crashed on the simulated clock."""
@@ -100,4 +137,35 @@ class FragmentTimeoutError(FaultError):
 
     def __init__(self, message: str, fragment_index: int | None = None) -> None:
         self.fragment_index = fragment_index
+        super().__init__(message)
+
+
+class AdmissionRejected(ExecutionError):
+    """The query server refused a request because its bounded waiting
+    queue was full.  Deliberately *not* a :class:`FaultError`: rejection
+    is a load-control decision, not a WAN fault, and must never be
+    absorbed by retry or failover."""
+
+    def __init__(self, message: str, queue_depth: int | None = None) -> None:
+        self.queue_depth = queue_depth
+        super().__init__(message)
+
+
+class DeadlineExceeded(ExecutionError):
+    """A query ran past its caller's deadline on the simulated clock
+    and was cancelled cooperatively at a fragment boundary (or shed
+    from the queue before it ever started).
+
+    Not a :class:`FaultError`: a blown deadline must surface to the
+    caller as a typed shed, never be "recovered" by failover into more
+    work the caller no longer wants."""
+
+    def __init__(
+        self,
+        message: str,
+        deadline: float | None = None,
+        at: float | None = None,
+    ) -> None:
+        self.deadline = deadline
+        self.at = at
         super().__init__(message)

@@ -140,7 +140,17 @@ class ExecutionMetrics:
     fragments: list[FragmentRecord] = field(default_factory=list)
     #: Simulated critical-path response time; only populated by the
     #: fragment scheduler (``ExecutionEngine(..., parallel=True)``).
+    #: When the scheduler ran with a clock offset (the query server
+    #: admits queries at shared-clock instants) this is the *absolute*
+    #: finish instant; subtract :attr:`start_at_seconds` for the
+    #: query's own service time.
     makespan_seconds: float = 0.0
+    #: Simulated instant the scheduler's clock started at (0.0 except
+    #: under the query server).
+    start_at_seconds: float = 0.0
+    #: Transfer attempts refused outright by an open per-link circuit
+    #: breaker (query server only; 0 without a breaker registry).
+    breaker_fast_fails: int = 0
     #: Per-site simulated clock after the last delivery event at that
     #: site (fragment scheduler only).
     site_clock_seconds: dict[str, float] = field(default_factory=dict)
@@ -175,6 +185,13 @@ class ExecutionMetrics:
         """Attempts across all successful transfers (1 each when no
         faults were injected)."""
         return sum(s.attempts for s in self.ships)
+
+    @property
+    def service_seconds(self) -> float:
+        """Critical-path response time relative to the query's own
+        admission instant (equals :attr:`makespan_seconds` outside the
+        query server, where the clock starts at 0)."""
+        return max(0.0, self.makespan_seconds - self.start_at_seconds)
 
     @property
     def local_compute_seconds(self) -> float:

@@ -36,6 +36,7 @@ from dataclasses import dataclass, replace
 from ..errors import ExecutionError
 from ..geo import NetworkModel
 from ..plan import PhysicalPlan, Ship, TableScan
+from ..validation import validate_non_negative_int, validate_timeout
 from .fragments import Fragment, FragmentDAG, fragment_plan
 from .faults import stable_fraction
 
@@ -58,14 +59,10 @@ class RetryPolicy:
     detection_seconds: float = 0.05
 
     def __post_init__(self) -> None:
-        if self.max_retries < 0:
-            raise ExecutionError(f"max_retries must be >= 0, got {self.max_retries}")
+        validate_non_negative_int(self.max_retries, "max_retries")
         if self.backoff_seconds < 0 or self.backoff_multiplier < 1.0:
             raise ExecutionError("backoff must be >= 0 with multiplier >= 1")
-        if self.fragment_timeout is not None and self.fragment_timeout <= 0:
-            raise ExecutionError(
-                f"fragment_timeout must be positive, got {self.fragment_timeout}"
-            )
+        validate_timeout(self.fragment_timeout, "fragment_timeout")
 
     @property
     def max_attempts(self) -> int:

@@ -60,13 +60,16 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 
 from ..errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
     ExecutionError,
     FaultError,
     FragmentTimeoutError,
     SiteUnavailableError,
     TransferError,
 )
-from ..geo import FaultAwareNetwork, GeoDatabase, NetworkModel
+from ..geo import FaultAwareNetwork, GeoDatabase, LinkGovernor, NetworkModel
+from ..validation import validate_positive_int, validate_timeout
 from ..plan import PhysicalPlan, Ship
 from .faults import FaultPlan
 from .fragments import Fragment, FragmentDAG, fragment_plan
@@ -85,16 +88,14 @@ from .vectorized import BatchOperatorExecutor, ColumnBatch
 def validate_worker_count(max_workers: int | None) -> int:
     """Resolve and validate a thread-pool size; ``None`` means the
     default of ``min(8, cores)``.  Zero and negative counts are rejected
-    here with a clear error instead of surfacing as an opaque crash deep
-    inside :class:`ThreadPoolExecutor` (or, worse for 0, silently
-    falling back to the default)."""
+    here with a clear typed error (the shared
+    :func:`~repro.validation.validate_positive_int`) instead of
+    surfacing as an opaque crash deep inside
+    :class:`ThreadPoolExecutor` (or, worse for 0, silently falling back
+    to the default)."""
     if max_workers is None:
         return min(8, os.cpu_count() or 1)
-    if max_workers < 1:
-        raise ExecutionError(
-            f"worker count must be a positive integer, got {max_workers}"
-        )
-    return max_workers
+    return validate_positive_int(max_workers, "worker count")
 
 
 class _FragmentExecutor(OperatorExecutor):
@@ -186,6 +187,7 @@ class FragmentScheduler:
         retry_policy: RetryPolicy | None = None,
         compliance_guard=None,  # PolicyEvaluator | None
         executor: str = "row",
+        breakers: LinkGovernor | None = None,
     ) -> None:
         self.database = database
         self.network = network
@@ -194,14 +196,33 @@ class FragmentScheduler:
         self.retry_policy = retry_policy or RetryPolicy()
         self.compliance_guard = compliance_guard
         self.executor = validate_executor_name(executor)
+        self.breakers = breakers
 
-    def run(self, plan: PhysicalPlan) -> tuple[RowBatch, ExecutionMetrics]:
+    def run(
+        self,
+        plan: PhysicalPlan,
+        start_at: float = 0.0,
+        deadline: float | None = None,
+    ) -> tuple[RowBatch, ExecutionMetrics]:
         """Execute ``plan``; returns the root result and plan metrics
         (fragment records, ship records, recoveries, and
         ``makespan_seconds``).  Under fault injection an unrecoverable
         query returns empty rows with ``metrics.partial_failure`` set;
-        genuine operator failures raise."""
-        run = _ChaosRun(self, plan)
+        genuine operator failures raise.
+
+        ``start_at`` offsets the simulated clock — the query server
+        admits queries at their (shared-clock) admission instant, so
+        fault onsets and breaker state are consulted at global times and
+        ``makespan_seconds`` is the *absolute* finish instant.
+        ``deadline`` (absolute, simulated) cancels the query
+        cooperatively at the next fragment boundary once the clock
+        passes it, raising a typed
+        :class:`~repro.errors.DeadlineExceeded` (pending sibling
+        fragments are cancelled by the pool-shutdown path)."""
+        if start_at < 0.0:
+            raise ExecutionError(f"start_at must be >= 0, got {start_at}")
+        validate_timeout(deadline, "deadline")
+        run = _ChaosRun(self, plan, start_at=start_at, deadline=deadline)
         run.execute()
         metrics = run.account()
         if run.failure is not None:
@@ -220,11 +241,21 @@ class _ChaosRun:
     #: guards against a pathological fault schedule looping forever.
     MAX_RECOVERIES = 32
 
-    def __init__(self, scheduler: FragmentScheduler, plan: PhysicalPlan) -> None:
+    def __init__(
+        self,
+        scheduler: FragmentScheduler,
+        plan: PhysicalPlan,
+        start_at: float = 0.0,
+        deadline: float | None = None,
+    ) -> None:
         self.scheduler = scheduler
         self.plan = plan
+        self.start_at = start_at
+        self.deadline = deadline
         self.dag = fragment_plan(plan)
-        self.wan = FaultAwareNetwork(scheduler.network, scheduler.faults)
+        self.wan = FaultAwareNetwork(
+            scheduler.network, scheduler.faults, breakers=scheduler.breakers
+        )
         self.policy = scheduler.retry_policy
         self.planner = FailoverPlanner(
             scheduler.network,
@@ -245,6 +276,8 @@ class _ChaosRun:
         self.ship_records: dict[int, ShipRecord] = {}
         self.recoveries: list[RecoveryRecord] = []
         self.failure: PartialFailure | None = None
+        #: Transfers refused outright by an open circuit breaker.
+        self.breaker_fast_fails = 0
         #: Sites a fragment has already failed at (never retried).
         self._excluded: dict[int, set[str]] = {}
 
@@ -328,8 +361,11 @@ class _ChaosRun:
         """Fix fragment ``index``'s simulated start: deliver every input
         to its site, absorbing faults by retry and failover.  Sets
         ``ready[index]``; raises :class:`FaultError` only when recovery
-        is impossible (→ partial failure)."""
-        not_before = 0.0
+        is impossible (→ partial failure), or the non-fault
+        :class:`DeadlineExceeded` when the clock has passed the query's
+        deadline — deadline cancellation is cooperative and happens
+        exactly here, at fragment-admission boundaries."""
+        not_before = self.start_at
         while True:
             fragment = self.dag.fragments[index]
             site = fragment.location
@@ -337,6 +373,7 @@ class _ChaosRun:
                 [not_before]
                 + [self.ready[entry.producer] for entry in fragment.inputs]
             )
+            self._check_deadline(base, index)
             if self.scheduler.faults.site_down(site, base):
                 error = SiteUnavailableError(
                     f"site {site!r} is down at t={base:.3f}s", site=site
@@ -390,6 +427,26 @@ class _ChaosRun:
                 self.delivered[index] = start
             return
 
+    def _check_deadline(self, now: float, index: int) -> None:
+        """Cooperative load shedding: once the simulated clock passes
+        the query's (absolute) deadline, admitting more fragments is
+        wasted work the caller no longer wants.  The raise propagates
+        through the scheduling loop, whose shutdown path cancels every
+        pending sibling future.
+
+        Checked only *before* a fragment commits new WAN work (its
+        admission ``base``): if the deadline passes while a fragment's
+        inputs are already in flight, abandoning the paid-for transfers
+        saves nothing, so the fragment completes and the query is
+        delivered *late* (flagged by the server's ``served_late``)."""
+        if self.deadline is not None and now > self.deadline:
+            raise DeadlineExceeded(
+                f"fragment f{index} would start at t={now:.3f}s, past the "
+                f"query deadline of t={self.deadline:.3f}s",
+                deadline=self.deadline,
+                at=now,
+            )
+
     def _producer_at(self, fragment: Fragment, site: str) -> int:
         for entry in fragment.inputs:
             if self.dag.fragments[entry.producer].location == site:
@@ -426,6 +483,12 @@ class _ChaosRun:
                 seconds = self.wan.attempt_transfer(source, target_site, nbytes, now)
             except TransferError as error:
                 error.at = now
+                if isinstance(error, CircuitOpenError):
+                    # Fast-fail: no backoff, no retries — the breaker
+                    # already knows the link is bad.  The admission loop
+                    # consults failover next.
+                    self.breaker_fast_fails += 1
+                    raise
                 if not error.transient or attempts >= self.policy.max_attempts:
                     raise
                 pause = self.policy.backoff(
@@ -558,11 +621,15 @@ class _ChaosRun:
             )
         merged.recoveries = list(self.recoveries)
         merged.partial_failure = self.failure
+        merged.breaker_fast_fails = self.breaker_fast_fails
+        merged.start_at_seconds = self.start_at
         if self.failure is not None:
             merged.makespan_seconds = max(
-                [self.failure.at_seconds, *self.delivered.values()], default=0.0
+                [self.failure.at_seconds, self.start_at, *self.delivered.values()],
             )
         else:
-            merged.makespan_seconds = self.delivered.get(self.dag.root_index, 0.0)
+            merged.makespan_seconds = self.delivered.get(
+                self.dag.root_index, self.start_at
+            )
         merged.site_clock_seconds = site_clock
         return merged

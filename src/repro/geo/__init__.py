@@ -4,6 +4,7 @@ from .network import (
     FaultAwareNetwork,
     FaultModel,
     LinkCost,
+    LinkGovernor,
     NetworkModel,
     synthetic_network,
 )
@@ -13,6 +14,7 @@ __all__ = [
     "FaultAwareNetwork",
     "FaultModel",
     "LinkCost",
+    "LinkGovernor",
     "NetworkModel",
     "synthetic_network",
     "GeoDatabase",

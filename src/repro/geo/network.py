@@ -18,7 +18,12 @@ import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Protocol
 
-from ..errors import SiteUnavailableError, TransferError
+from ..errors import (
+    CircuitOpenError,
+    SiteUnavailableError,
+    TransferError,
+    UnknownLinkError,
+)
 
 
 @dataclass(frozen=True)
@@ -34,10 +39,23 @@ class NetworkModel:
 
     Transfers within one location are free (``alpha = beta = 0``), matching
     the paper where SHIP operators only appear between sites.
+
+    With ``strict=True`` an unmodeled pair raises a typed
+    :class:`~repro.errors.UnknownLinkError` instead of substituting the
+    pessimistic default — both SHIP paths (the row executor's
+    ``record_ship`` and the batch executor's column-wise accounting)
+    price transfers through :meth:`link`, so a mis-deployed catalog
+    fails identically from either backend rather than surfacing as a
+    bare lookup failure somewhere downstream.
     """
 
-    def __init__(self, links: dict[tuple[str, str], LinkCost] | None = None) -> None:
+    def __init__(
+        self,
+        links: dict[tuple[str, str], LinkCost] | None = None,
+        strict: bool = False,
+    ) -> None:
         self._links: dict[tuple[str, str], LinkCost] = dict(links or {})
+        self.strict = strict
 
     def set_link(self, src: str, dst: str, alpha: float, beta: float) -> None:
         self._links[(src, dst)] = LinkCost(alpha, beta)
@@ -52,6 +70,13 @@ class NetworkModel:
             return LinkCost(0.0, 0.0)
         cost = self._links.get((src, dst))
         if cost is None:
+            if self.strict:
+                raise UnknownLinkError(
+                    f"no link modeled from {src!r} to {dst!r} "
+                    f"(strict network model)",
+                    source=src,
+                    target=dst,
+                )
             # Unknown pair: use a pessimistic default so plans do not get a
             # free ride over unmodeled links.
             return LinkCost(alpha=0.5, beta=2e-7)
@@ -80,6 +105,20 @@ class FaultModel(Protocol):
     def slow_factor(self, source: str, target: str, when: float) -> float: ...
 
 
+class LinkGovernor(Protocol):
+    """What a per-link circuit-breaker registry must answer for the
+    network layer.
+
+    Implemented by :class:`repro.server.BreakerRegistry`; declared
+    structurally here so ``geo`` stays independent of ``server``."""
+
+    def allow(self, source: str, target: str, when: float) -> bool: ...
+
+    def record_success(self, source: str, target: str, when: float) -> None: ...
+
+    def record_failure(self, source: str, target: str, when: float) -> None: ...
+
+
 class FaultAwareNetwork(NetworkModel):
     """A :class:`NetworkModel` view that consults a fault schedule.
 
@@ -97,14 +136,28 @@ class FaultAwareNetwork(NetworkModel):
       multiplied by any active :class:`~repro.execution.faults.SlowLink`
       degradation.
 
+    When constructed with a ``breakers`` registry (a :class:`LinkGovernor`,
+    e.g. the query server's per-link circuit breakers), every cross-site
+    attempt first asks the breaker for the link: an open breaker
+    fast-fails the attempt with :class:`~repro.errors.CircuitOpenError`
+    (never transient — the retry loop must not hammer a known-bad link),
+    and every real attempt's outcome is reported back so the breaker's
+    failure-rate window tracks the link's health on the simulated clock.
+
     Local moves (``src == dst``) never touch the WAN and only fail when
     the site itself is down.
     """
 
-    def __init__(self, base: NetworkModel, faults: FaultModel) -> None:
-        super().__init__(base._links)
+    def __init__(
+        self,
+        base: NetworkModel,
+        faults: FaultModel,
+        breakers: "LinkGovernor | None" = None,
+    ) -> None:
+        super().__init__(base._links, strict=base.strict)
         self.base = base
         self.faults = faults
+        self.breakers = breakers
 
     def site_available(self, site: str, when: float) -> bool:
         return not self.faults.site_down(site, when)
@@ -122,8 +175,16 @@ class FaultAwareNetwork(NetworkModel):
                 )
         if src == dst:
             return 0.0
+        if self.breakers is not None and not self.breakers.allow(src, dst, when):
+            raise CircuitOpenError(
+                f"circuit breaker for {src} -> {dst} is open at t={when:.3f}s",
+                source=src,
+                target=dst,
+            )
         outage = self.faults.link_down(src, dst, when)
         if outage is not None:
+            if self.breakers is not None:
+                self.breakers.record_failure(src, dst, when)
             transient = getattr(outage, "duration", None) is not None
             raise TransferError(
                 f"link {src} -> {dst} is down at t={when:.3f}s",
@@ -132,12 +193,16 @@ class FaultAwareNetwork(NetworkModel):
                 transient=transient,
             )
         if self.faults.link_flaky(src, dst, when) is not None:
+            if self.breakers is not None:
+                self.breakers.record_failure(src, dst, when)
             raise TransferError(
                 f"transient failure on {src} -> {dst} at t={when:.3f}s",
                 source=src,
                 target=dst,
                 transient=True,
             )
+        if self.breakers is not None:
+            self.breakers.record_success(src, dst, when)
         return self.base.transfer_time(src, dst, nbytes) * self.faults.slow_factor(
             src, dst, when
         )

@@ -1,0 +1,43 @@
+"""Concurrent query serving over the simulated WAN clock.
+
+The execution layer (engine, fragment scheduler, fault injection,
+retry/failover) is single-query: it answers "how does *one* plan behave
+on a faulty WAN".  This package adds the workload-facing serving layer
+the ROADMAP's production north star needs:
+
+* :class:`QueryServer` — accepts a stream of :class:`QueryRequest`\\ s
+  (SQL + optional deadline + priority) and services them concurrently
+  on a shared simulated clock with **admission control** (bounded
+  queue, concurrency cap, per-site in-flight fragment limits),
+* :class:`BreakerRegistry` / :class:`CircuitBreaker` — **per-link
+  circuit breakers** (closed → open → half-open on the simulated
+  clock) that stop cross-query retry storms on a bad link and steer
+  execution into failover instead,
+* **deadline-based load shedding** — queries past deadline are shed
+  from the queue or cancelled cooperatively at fragment boundaries
+  with a typed :class:`~repro.errors.DeadlineExceeded`,
+* :class:`ServerMetrics` — graceful-degradation accounting
+  (``served / shed / rejected / partial``) that always reconciles to
+  the workload size.
+
+See docs/ROBUSTNESS.md §6–§8 for the design.
+"""
+
+from .breaker import BreakerConfig, BreakerRegistry, BreakerState, CircuitBreaker
+from .metrics import ServerMetrics
+from .request import QueryRequest, load_workload, workload_from_queries
+from .server import QueryOutcome, QueryServer, ServeResult
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerRegistry",
+    "BreakerState",
+    "CircuitBreaker",
+    "ServerMetrics",
+    "QueryRequest",
+    "load_workload",
+    "workload_from_queries",
+    "QueryOutcome",
+    "QueryServer",
+    "ServeResult",
+]

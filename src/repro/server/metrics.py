@@ -1,0 +1,91 @@
+"""Graceful-degradation accounting for the query server.
+
+Every request the server accepts ends in exactly one of four buckets —
+``served``, ``shed`` (deadline), ``rejected`` (admission), ``partial``
+(unrecoverable WAN fault) — and :meth:`ServerMetrics.reconciles`
+asserts the buckets sum back to the workload size: under overload the
+server degrades *measurably*, never silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ServerMetrics:
+    """Aggregate outcome counts and timing of one ``serve()`` run."""
+
+    total: int = 0
+    #: Completed with rows (identical to single-query execution).
+    served: int = 0
+    #: Cancelled on deadline (typed ``DeadlineExceeded``).
+    shed: int = 0
+    #: Refused at admission (typed ``AdmissionRejected``).
+    rejected: int = 0
+    #: Degraded to a typed partial failure (unrecoverable WAN fault).
+    partial: int = 0
+    #: Served, but finished past the caller's deadline (the last
+    #: fragment was already admitted when the deadline passed —
+    #: cooperative cancellation only cuts at fragment boundaries).
+    served_late: int = 0
+
+    #: Simulated instant of the last completion (or last arrival when
+    #: nothing ran) — the workload's end on the shared clock.
+    finished_at_seconds: float = 0.0
+    #: Total simulated time requests spent waiting in the queue.
+    queue_wait_seconds: float = 0.0
+    #: Summed per-query service times (admission -> finish) of served
+    #: and partial queries.
+    service_seconds: float = 0.0
+    #: Retry backoff waited across all executed queries.
+    retry_wait_seconds: float = 0.0
+    #: Transfer attempts across all executed queries.
+    transfer_attempts: int = 0
+    #: Attempts refused outright by an open circuit breaker.
+    breaker_fast_fails: int = 0
+    #: Times any per-link breaker tripped closed -> open.
+    breaker_trips: int = 0
+    #: Compliance-preserving failovers across all executed queries.
+    recoveries: int = 0
+    #: Final breaker state per link ("src->dst" -> state name).
+    breaker_states: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Alias for :attr:`finished_at_seconds` — the total simulated
+        time to drain the workload."""
+        return self.finished_at_seconds
+
+    @property
+    def throughput_qps(self) -> float:
+        """Served queries per simulated second (0 when nothing ran)."""
+        if self.finished_at_seconds <= 0.0:
+            return 0.0
+        return self.served / self.finished_at_seconds
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of the workload shed or rejected (load-control
+        losses; partial failures are WAN losses, counted separately)."""
+        if self.total == 0:
+            return 0.0
+        return (self.shed + self.rejected) / self.total
+
+    def reconciles(self) -> bool:
+        """Do the outcome buckets sum to the workload size?"""
+        return self.served + self.shed + self.rejected + self.partial == self.total
+
+    def summary(self) -> str:
+        return (
+            f"{self.served}/{self.total} served "
+            f"({self.served_late} late), {self.shed} shed, "
+            f"{self.rejected} rejected, {self.partial} partial; "
+            f"makespan {self.finished_at_seconds:.3f}s, "
+            f"throughput {self.throughput_qps:.2f} q/s, "
+            f"shed rate {self.shed_rate:.0%}; "
+            f"{self.transfer_attempts} transfer attempts, "
+            f"{self.breaker_fast_fails} breaker fast-fails, "
+            f"{self.breaker_trips} breaker trips, "
+            f"{self.recoveries} failovers"
+        )

@@ -1,0 +1,138 @@
+"""Query requests and workload files for the query server.
+
+A workload is an ordered list of :class:`QueryRequest`\\ s.  The CLI
+``serve`` subcommand replays a JSON workload file; benchmarks and tests
+build workloads programmatically (:func:`workload_from_queries`).
+
+Workload file format — either a bare JSON list or ``{"queries": [...]}``,
+one object per request::
+
+    [
+      {"query": "Q3", "arrival": 0.0, "deadline": 2.5, "priority": 1},
+      {"query": "SELECT ...", "arrival": 0.1},
+      ...
+    ]
+
+``query`` is SQL text or a named TPC-H query (``Q2`` .. ``Q10``; the
+server resolves names through the optimizer's binder the same way the
+``run`` subcommand does).  ``arrival`` is the request's arrival instant
+on the server's shared simulated clock (default 0.0, must be
+non-decreasing is *not* required — requests are sorted), ``deadline``
+is relative to arrival (simulated seconds; omitted = no deadline beyond
+the server default), ``priority`` orders the waiting queue (higher
+first; default 0).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ExecutionError
+from ..plan import PhysicalPlan
+from ..validation import validate_timeout
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query submitted to the server."""
+
+    sql: str
+    #: Arrival instant on the server's shared simulated clock.
+    arrival: float = 0.0
+    #: Caller's patience in simulated seconds *after arrival*; ``None``
+    #: falls back to the server's default deadline (which may be None).
+    deadline: float | None = None
+    #: Waiting-queue priority: higher is dispatched first.
+    priority: int = 0
+    #: Display name (e.g. "Q3"); defaults to a prefix of the SQL.
+    name: str | None = None
+    #: Pre-optimized plan — set by tests that hand-build plans; when
+    #: ``None`` the server optimizes ``sql`` itself.
+    plan: PhysicalPlan | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0.0:
+            raise ExecutionError(
+                f"request arrival must be >= 0, got {self.arrival}"
+            )
+        validate_timeout(self.deadline, "deadline")
+
+    @property
+    def label(self) -> str:
+        if self.name:
+            return self.name
+        text = " ".join(self.sql.split())
+        return text if len(text) <= 40 else text[:37] + "..."
+
+    def absolute_deadline(self, default: float | None) -> float | None:
+        """The instant the caller gives up, on the shared clock."""
+        relative = self.deadline if self.deadline is not None else default
+        return None if relative is None else self.arrival + relative
+
+
+def workload_from_queries(
+    queries: dict[str, str] | list[tuple[str, str]],
+    interarrival: float = 0.0,
+    deadline: float | None = None,
+    repeat: int = 1,
+) -> list[QueryRequest]:
+    """A synthetic workload over named queries: ``repeat`` rounds of
+    every query, arrivals spaced ``interarrival`` simulated seconds
+    apart in round order."""
+    pairs = list(queries.items()) if isinstance(queries, dict) else list(queries)
+    out: list[QueryRequest] = []
+    for round_index in range(repeat):
+        for name, sql in pairs:
+            out.append(
+                QueryRequest(
+                    sql=sql,
+                    arrival=len(out) * interarrival,
+                    deadline=deadline,
+                    name=f"{name}#{round_index}" if repeat > 1 else name,
+                )
+            )
+    return out
+
+
+def load_workload(path: str | Path, resolve=None) -> list[QueryRequest]:
+    """Parse a JSON workload file into requests (sorted by arrival).
+
+    ``resolve`` maps a ``query`` entry to SQL text (the CLI passes the
+    named-TPC-H resolver); by default entries are taken as SQL."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ExecutionError(f"cannot read workload file {path}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ExecutionError(f"workload file {path} is not valid JSON: {error}") from None
+    entries = payload.get("queries") if isinstance(payload, dict) else payload
+    if not isinstance(entries, list):
+        raise ExecutionError(
+            f"workload file {path} must be a JSON list of requests "
+            f'(or {{"queries": [...]}})'
+        )
+    requests: list[QueryRequest] = []
+    for i, entry in enumerate(entries):
+        if isinstance(entry, str):
+            entry = {"query": entry}
+        if not isinstance(entry, dict) or not entry.get("query", entry.get("sql")):
+            raise ExecutionError(
+                f"workload entry #{i} must be an object with a 'query' field"
+            )
+        text = entry.get("query", entry.get("sql"))
+        sql = resolve(text) if resolve is not None else text
+        try:
+            requests.append(
+                QueryRequest(
+                    sql=sql,
+                    arrival=float(entry.get("arrival", 0.0)),
+                    deadline=entry.get("deadline"),
+                    priority=int(entry.get("priority", 0)),
+                    name=entry.get("name") or (text if sql != text else None),
+                )
+            )
+        except (TypeError, ValueError) as error:
+            raise ExecutionError(f"bad workload entry #{i}: {error}") from None
+    return sorted(requests, key=lambda r: (r.arrival, -r.priority))

@@ -1,0 +1,378 @@
+"""The query server: concurrent serving on the shared simulated clock.
+
+:class:`QueryServer` drains a workload of :class:`QueryRequest`\\ s
+through a deterministic discrete-event loop:
+
+* **One shared simulated clock.**  Requests arrive at their workload
+  instants; a dispatched query executes through the fragment scheduler
+  with its clock *offset* to the dispatch instant
+  (``FragmentScheduler.run(plan, start_at=t)``), so fault windows,
+  breaker states, and deadlines are all consulted at global times and
+  service windows of concurrent queries genuinely overlap on the
+  simulated timeline.  (Fragments of each query still execute on a real
+  thread pool; it is only the *WAN* that is simulated.)
+* **Admission control.**  At most ``concurrency`` queries are in
+  service at once; waiting requests sit in a bounded priority queue
+  (``queue_depth``); per-site in-flight fragment limits
+  (``site_inflight``) keep any one site from being buried.  A request
+  arriving to a full queue is refused with a typed
+  :class:`~repro.errors.AdmissionRejected` — immediately, rather than
+  timing out the caller later.
+* **Deadline-based load shedding.**  A queued request whose deadline
+  passes before dispatch is shed without running; a running query is
+  cancelled cooperatively at the next fragment-admission boundary (the
+  scheduler raises :class:`~repro.errors.DeadlineExceeded` and its
+  shutdown path cancels pending sibling futures).
+* **Per-link circuit breakers.**  With a
+  :class:`~repro.server.BreakerRegistry`, every transfer outcome of
+  every query feeds the link's breaker; an open breaker fast-fails
+  transfers (no retry storm) and pushes execution into
+  compliance-preserving failover instead.
+
+Determinism: all decisions are made in event order on the simulated
+clock — no wall-clock reads, no randomness.  Overlapping queries are
+*executed* sequentially in dispatch order, so breaker evidence recorded
+by an earlier-dispatched query is visible to later-dispatched queries
+(filtered to events at or before their own attempt instants); evidence
+from a later-dispatched query is not visible to an earlier one even for
+attempt instants after it.  This one-directional visibility is the
+price of exact reproducibility and is documented in
+docs/ROBUSTNESS.md §7.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import (
+    AdmissionRejected,
+    ComplianceViolationError,
+    DeadlineExceeded,
+    ReproError,
+)
+from ..execution.faults import FaultPlan
+from ..execution.fragments import fragment_plan
+from ..execution.metrics import ExecutionMetrics
+from ..execution.recovery import RetryPolicy
+from ..execution.scheduler import FragmentScheduler
+from ..geo import GeoDatabase, NetworkModel
+from ..plan import PhysicalPlan
+from ..validation import validate_positive_int, validate_timeout
+from .breaker import BreakerRegistry
+from .metrics import ServerMetrics
+from .request import QueryRequest
+
+#: Outcome bucket names, in reporting order.
+STATUSES = ("served", "shed", "rejected", "partial")
+
+
+@dataclass
+class QueryOutcome:
+    """What happened to one request."""
+
+    request: QueryRequest
+    status: str  # one of STATUSES
+    #: Typed error for shed/rejected/partial outcomes (None when served).
+    error: ReproError | None = None
+    columns: list[str] | None = None
+    rows: list[tuple] | None = None
+    #: Simulated instants on the shared clock (None when never started).
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Per-query execution metrics (None when never started).
+    metrics: ExecutionMetrics | None = None
+    #: Served, but past the caller's deadline.
+    late: bool = False
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return max(0.0, self.started_at - self.request.arrival)
+
+    def describe(self) -> str:
+        label = self.request.label
+        if self.status == "served":
+            late = " (LATE)" if self.late else ""
+            return (
+                f"{label}: served {len(self.rows or [])} rows{late} "
+                f"[t={self.started_at:.3f}s -> {self.finished_at:.3f}s]"
+            )
+        return f"{label}: {self.status.upper()} — {self.error}"
+
+
+@dataclass
+class ServeResult:
+    """Everything one ``serve()`` run produced, in workload order."""
+
+    outcomes: list[QueryOutcome]
+    metrics: ServerMetrics
+    breakers: BreakerRegistry | None = None
+
+    def by_status(self, status: str) -> list[QueryOutcome]:
+        return [o for o in self.outcomes if o.status == status]
+
+
+@dataclass(order=True)
+class _Event:
+    """Heap entry: completions sort before arrivals at equal instants so
+    freed capacity admits same-instant arrivals."""
+
+    when: float
+    kind: int  # 0 = completion, 1 = arrival
+    seq: int
+    payload: object = field(compare=False)
+
+
+class QueryServer:
+    """Serves query workloads concurrently over the simulated WAN."""
+
+    def __init__(
+        self,
+        database: GeoDatabase,
+        network: NetworkModel,
+        optimizer=None,  # object with .optimize(sql) -> result with .plan
+        evaluator=None,  # PolicyEvaluator | None — compliance guard
+        concurrency: int = 4,
+        queue_depth: int = 16,
+        site_inflight: int | None = None,
+        default_deadline: float | None = None,
+        breakers: BreakerRegistry | None = None,
+        faults: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        executor: str = "row",
+        max_workers: int | None = None,
+    ) -> None:
+        self.database = database
+        self.network = network
+        self.optimizer = optimizer
+        self.evaluator = evaluator
+        self.concurrency = validate_positive_int(concurrency, "concurrency")
+        self.queue_depth = validate_positive_int(queue_depth, "queue depth")
+        self.site_inflight = (
+            None
+            if site_inflight is None
+            else validate_positive_int(site_inflight, "site in-flight limit")
+        )
+        self.default_deadline = validate_timeout(default_deadline, "deadline")
+        self.breakers = breakers
+        self.scheduler = FragmentScheduler(
+            database,
+            network,
+            max_workers=max_workers,
+            faults=faults,
+            retry_policy=retry_policy,
+            compliance_guard=evaluator,
+            executor=executor,
+            breakers=breakers,
+        )
+        self._plan_cache: dict[str, PhysicalPlan] = {}
+
+    # -- planning ---------------------------------------------------------------
+
+    def _plan_for(self, request: QueryRequest) -> PhysicalPlan:
+        if request.plan is not None:
+            return request.plan
+        if self.optimizer is None:
+            raise ReproError(
+                "QueryServer needs an optimizer for SQL requests (or "
+                "requests carrying pre-built plans)"
+            )
+        plan = self._plan_cache.get(request.sql)
+        if plan is None:
+            plan = self.optimizer.optimize(request.sql).plan
+            if self.evaluator is not None:
+                from ..optimizer.validator import check_compliance
+
+                violations = check_compliance(plan, self.evaluator)
+                if violations:
+                    details = "; ".join(str(v) for v in violations)
+                    raise ComplianceViolationError(
+                        f"refusing to serve non-compliant plan: {details}"
+                    )
+            self._plan_cache[request.sql] = plan
+        return plan
+
+    # -- the event loop ---------------------------------------------------------
+
+    def serve(self, requests: list[QueryRequest]) -> ServeResult:
+        """Drain ``requests`` and return per-query outcomes plus
+        aggregate :class:`ServerMetrics` (which always reconcile to
+        ``len(requests)``).  Genuine operator bugs propagate; every
+        load/WAN outcome is a typed result, never an exception."""
+        metrics = ServerMetrics(total=len(requests))
+        outcomes: dict[int, QueryOutcome] = {}
+        events: list[_Event] = []
+        seq = 0
+        for index, request in enumerate(
+            sorted(requests, key=lambda r: r.arrival)
+        ):
+            events.append(_Event(request.arrival, 1, seq, (index, request)))
+            seq += 1
+        heapq.heapify(events)
+
+        #: Waiting room, kept sorted by (-priority, arrival, index).
+        queue: list[tuple[int, float, int, QueryRequest]] = []
+        running: dict[int, Counter] = {}  # index -> fragments per site
+        inflight: Counter = Counter()
+        last_event = max((r.arrival for r in requests), default=0.0)
+
+        def can_start(sites: Counter) -> bool:
+            if len(running) >= self.concurrency:
+                return False
+            if self.site_inflight is not None:
+                for site, count in sites.items():
+                    if inflight[site] + count > self.site_inflight:
+                        return False
+            return True
+
+        def dispatch(now: float) -> None:
+            """Start queued queries while capacity allows, in priority
+            order; head-of-line blocking keeps dispatch deterministic."""
+            nonlocal seq, last_event
+            while queue:
+                _, _, index, request = queue[0]
+                absolute = request.absolute_deadline(self.default_deadline)
+                if absolute is not None and now > absolute:
+                    heapq.heappop(queue)
+                    outcomes[index] = QueryOutcome(
+                        request=request,
+                        status="shed",
+                        error=DeadlineExceeded(
+                            f"request {request.label!r} spent "
+                            f"{now - request.arrival:.3f}s queued, past its "
+                            f"deadline of t={absolute:.3f}s",
+                            deadline=absolute,
+                            at=now,
+                        ),
+                    )
+                    continue
+                plan = self._plan_for(request)
+                sites = Counter(f.location for f in fragment_plan(plan).fragments)
+                if not can_start(sites):
+                    return
+                heapq.heappop(queue)
+                outcome = self._execute(index, request, plan, now, absolute)
+                outcomes[index] = outcome
+                finish = outcome.finished_at if outcome.finished_at is not None else now
+                last_event = max(last_event, finish)
+                running[index] = sites
+                inflight.update(sites)
+                heapq.heappush(events, _Event(finish, 0, seq, index))
+                seq += 1
+
+        while events:
+            event = heapq.heappop(events)
+            now = event.when
+            if event.kind == 0:  # completion: release capacity
+                index = event.payload
+                inflight.subtract(running.pop(index))
+                dispatch(now)
+                continue
+            index, request = event.payload
+            if len(queue) >= self.queue_depth:
+                outcomes[index] = QueryOutcome(
+                    request=request,
+                    status="rejected",
+                    error=AdmissionRejected(
+                        f"request {request.label!r} rejected at "
+                        f"t={now:.3f}s: waiting queue is full "
+                        f"({self.queue_depth} requests)",
+                        queue_depth=self.queue_depth,
+                    ),
+                )
+                continue
+            heapq.heappush(queue, (-request.priority, request.arrival, index, request))
+            dispatch(now)
+
+        assert not queue and not running  # the loop drains everything
+        return ServeResult(
+            outcomes=[outcomes[i] for i in sorted(outcomes)],
+            metrics=self._account(metrics, outcomes, last_event),
+            breakers=self.breakers,
+        )
+
+    # -- execution of one dispatched query --------------------------------------
+
+    def _execute(
+        self,
+        index: int,
+        request: QueryRequest,
+        plan: PhysicalPlan,
+        now: float,
+        absolute_deadline: float | None,
+    ) -> QueryOutcome:
+        try:
+            batch, run_metrics = self.scheduler.run(
+                plan, start_at=now, deadline=absolute_deadline
+            )
+        except DeadlineExceeded as error:
+            # Cooperative cancellation at a fragment boundary; the
+            # capacity the query held is released at the shed instant.
+            return QueryOutcome(
+                request=request,
+                status="shed",
+                error=error,
+                started_at=now,
+                finished_at=error.at if error.at is not None else now,
+            )
+        finished = max(now, run_metrics.makespan_seconds)
+        if run_metrics.partial_failure is not None:
+            failure = run_metrics.partial_failure
+            return QueryOutcome(
+                request=request,
+                status="partial",
+                error=PartialFailureError(str(failure)),
+                started_at=now,
+                finished_at=finished,
+                metrics=run_metrics,
+            )
+        return QueryOutcome(
+            request=request,
+            status="served",
+            columns=batch.columns,
+            rows=batch.rows,
+            started_at=now,
+            finished_at=finished,
+            metrics=run_metrics,
+            late=absolute_deadline is not None and finished > absolute_deadline,
+        )
+
+    # -- accounting -------------------------------------------------------------
+
+    def _account(
+        self,
+        metrics: ServerMetrics,
+        outcomes: dict[int, QueryOutcome],
+        last_event: float,
+    ) -> ServerMetrics:
+        for outcome in outcomes.values():
+            if outcome.status == "served":
+                metrics.served += 1
+                metrics.served_late += outcome.late
+            elif outcome.status == "shed":
+                metrics.shed += 1
+            elif outcome.status == "rejected":
+                metrics.rejected += 1
+            else:
+                metrics.partial += 1
+            metrics.queue_wait_seconds += outcome.queue_wait_seconds
+            if outcome.metrics is not None:
+                metrics.service_seconds += outcome.metrics.service_seconds
+                metrics.retry_wait_seconds += outcome.metrics.retry_wait_seconds
+                metrics.transfer_attempts += outcome.metrics.transfer_attempts
+                metrics.breaker_fast_fails += outcome.metrics.breaker_fast_fails
+                metrics.recoveries += len(outcome.metrics.recoveries)
+        metrics.finished_at_seconds = last_event
+        if self.breakers is not None:
+            metrics.breaker_trips = self.breakers.total_trips()
+            metrics.breaker_states = self.breakers.snapshot()
+        return metrics
+
+
+class PartialFailureError(ReproError):
+    """Typed wrapper carrying a :class:`~repro.execution.PartialFailure`
+    description on a :class:`QueryOutcome` — so every non-served
+    outcome exposes a ``ReproError`` under ``outcome.error``."""

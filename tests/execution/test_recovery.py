@@ -209,3 +209,74 @@ class TestFailoverPlanner:
             )
             is None
         )
+
+
+class TestFailoverDeterminism:
+    """Satellite of the serving PR: equal-cost relocation candidates
+    break ties stably (sorted by site name), so failover placement is
+    identical across repeated runs and across executors."""
+
+    SITES = ("L1", "L2", "L3", "L4", "L5")
+
+    def uniform_network(self) -> NetworkModel:
+        """Every directed link costs exactly the same."""
+        network = NetworkModel()
+        for src in self.SITES:
+            for dst in self.SITES:
+                if src != dst:
+                    network.set_link(src, dst, alpha=0.1, beta=1e-6)
+        return network
+
+    def tie_plan(self):
+        """The movable fragment may relocate to L4 or L5 — both legal,
+        both exactly equal in re-shipping cost under a uniform network."""
+        return chain_plan(trait=frozenset({"L2", "L4", "L5"}))
+
+    def test_equal_cost_ties_break_by_site_name(self):
+        network = self.uniform_network()
+        plan = self.tie_plan()
+        dag = fragment_plan(plan)
+        planner = FailoverPlanner(
+            network, evaluator=None, all_locations=frozenset(self.SITES)
+        )
+        fragment = dag.fragments[1]
+        candidates = failover_candidates(
+            fragment, frozenset({"L2"}), frozenset(self.SITES)
+        )
+        assert candidates == ("L4", "L5")
+        costs = {
+            site: planner._relocation_cost(dag, fragment, site)
+            for site in candidates
+        }
+        assert costs["L4"] == pytest.approx(costs["L5"])  # a genuine tie
+        for _ in range(5):
+            failover = planner.plan_failover(
+                plan, dag, 1, unavailable=frozenset({"L2"}), reason="L2 crashed"
+            )
+            assert failover is not None
+            assert failover.to_site == "L4"  # lexicographically smallest
+
+    @pytest.mark.parametrize("executor", ["row", "batch"])
+    def test_placement_is_stable_across_runs_and_executors(self, world, executor):
+        from repro.execution import parse_fault_spec
+
+        _catalog, db, _network = world
+        network = self.uniform_network()
+        reference_rows = None
+        for _ in range(3):
+            engine = ExecutionEngine(
+                db,
+                network,
+                parallel=True,
+                faults=parse_fault_spec("crash:L2@0", locations=set(self.SITES)),
+                executor=executor,
+            )
+            output = engine.execute(self.tie_plan())
+            assert output.partial_failure is None
+            recoveries = output.metrics.recoveries
+            assert [r.to_site for r in recoveries] == ["L4"]
+            assert recoveries[0].from_site == "L2"
+            rows = rows_as_multiset(output.rows)
+            if reference_rows is None:
+                reference_rows = rows
+            assert rows == reference_rows

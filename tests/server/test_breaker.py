@@ -1,0 +1,161 @@
+"""Circuit-breaker unit tests: the three-state machine on the
+simulated clock, and the per-link registry."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.server import BreakerConfig, BreakerRegistry, BreakerState, CircuitBreaker
+
+FAST_TRIP = BreakerConfig(failure_threshold=1.0, window=4, min_volume=2, cooldown=1.0)
+
+
+def trip(breaker: CircuitBreaker, at: float = 0.0) -> None:
+    """Drive a FAST_TRIP breaker open with two failures ending at ``at``."""
+    breaker.record(at - 0.1, ok=False)
+    breaker.record(at, ok=False)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        BreakerConfig()
+
+    @pytest.mark.parametrize("threshold", [0.0, -0.5, 1.5])
+    def test_threshold_range(self, threshold):
+        with pytest.raises(InvalidParameterError):
+            BreakerConfig(failure_threshold=threshold)
+
+    def test_window_and_volume_positive(self):
+        with pytest.raises(InvalidParameterError, match="positive integer"):
+            BreakerConfig(window=0)
+        with pytest.raises(InvalidParameterError, match="positive integer"):
+            BreakerConfig(min_volume=-1)
+
+    def test_cooldown_positive(self):
+        with pytest.raises(InvalidParameterError):
+            BreakerConfig(cooldown=0.0)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker(FAST_TRIP)
+        assert breaker.state_at(0.0) is BreakerState.CLOSED
+        assert breaker.allow(123.0)
+        assert breaker.transitions() == []
+
+    def test_single_failure_below_min_volume_does_not_trip(self):
+        breaker = CircuitBreaker(FAST_TRIP)
+        breaker.record(1.0, ok=False)
+        assert breaker.state_at(2.0) is BreakerState.CLOSED
+
+    def test_trips_at_threshold(self):
+        breaker = CircuitBreaker(FAST_TRIP)
+        trip(breaker, at=1.0)
+        assert breaker.state_at(1.0) is BreakerState.OPEN
+        assert not breaker.allow(1.5)
+        assert breaker.trip_count() == 1
+
+    def test_mixed_window_respects_threshold(self):
+        # 50% threshold over a window of 4: two failures out of four trip.
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=0.5, window=4, min_volume=4, cooldown=1.0)
+        )
+        for when, ok in [(1.0, True), (2.0, False), (3.0, True), (4.0, False)]:
+            breaker.record(when, ok)
+        assert breaker.state_at(4.0) is BreakerState.OPEN
+
+    def test_successes_age_out_of_window(self):
+        # Window of 2: old successes cannot dilute recent failures.
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1.0, window=2, min_volume=2, cooldown=1.0)
+        )
+        for when in (1.0, 2.0, 3.0):
+            breaker.record(when, ok=True)
+        breaker.record(4.0, ok=False)
+        breaker.record(5.0, ok=False)
+        assert breaker.state_at(5.0) is BreakerState.OPEN
+
+    def test_half_open_after_cooldown(self):
+        breaker = CircuitBreaker(FAST_TRIP)
+        trip(breaker, at=1.0)
+        assert breaker.state_at(1.9) is BreakerState.OPEN
+        assert breaker.state_at(2.0) is BreakerState.HALF_OPEN
+        assert breaker.allow(2.0)
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(FAST_TRIP)
+        trip(breaker, at=1.0)
+        breaker.record(2.5, ok=True)  # the half-open probe
+        assert breaker.state_at(2.5) is BreakerState.CLOSED
+        # The window was reset: one new failure is below min_volume.
+        breaker.record(3.0, ok=False)
+        assert breaker.state_at(3.0) is BreakerState.CLOSED
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker = CircuitBreaker(FAST_TRIP)
+        trip(breaker, at=1.0)
+        breaker.record(2.5, ok=False)  # failed probe
+        assert breaker.state_at(2.5) is BreakerState.OPEN
+        assert breaker.state_at(3.4) is BreakerState.OPEN  # 2.5 + 1.0 > 3.4
+        assert breaker.state_at(3.5) is BreakerState.HALF_OPEN
+        assert breaker.trip_count() == 2
+
+    def test_events_during_open_before_cooldown_are_ignored(self):
+        # A layer running without the registry may record outcomes the
+        # breaker would have fast-failed; they carry no probe semantics.
+        breaker = CircuitBreaker(FAST_TRIP)
+        trip(breaker, at=1.0)
+        breaker.record(1.5, ok=True)  # within cooldown: not a probe
+        assert breaker.state_at(1.6) is BreakerState.OPEN
+        assert breaker.state_at(2.0) is BreakerState.HALF_OPEN
+
+    def test_out_of_order_recording_matches_timeline(self):
+        # Overlapping queries record at interleaved instants; the replay
+        # must reflect the timeline, not the recording order.
+        in_order = CircuitBreaker(FAST_TRIP)
+        shuffled = CircuitBreaker(FAST_TRIP)
+        events = [(1.0, False), (2.0, False), (3.5, True)]
+        for when, ok in events:
+            in_order.record(when, ok)
+        for when, ok in [events[2], events[0], events[1]]:
+            shuffled.record(when, ok)
+        for when in (0.5, 1.0, 2.0, 2.9, 3.0, 3.5, 4.0):
+            assert in_order.state_at(when) is shuffled.state_at(when)
+        assert in_order.transitions() == shuffled.transitions()
+
+    def test_transition_sequence(self):
+        breaker = CircuitBreaker(FAST_TRIP)
+        trip(breaker, at=1.0)
+        breaker.record(2.5, ok=False)  # failed probe -> reopen
+        breaker.record(4.0, ok=True)  # probe after second cooldown -> close
+        assert breaker.transitions() == [
+            (1.0, BreakerState.OPEN),
+            (2.0, BreakerState.HALF_OPEN),
+            (2.5, BreakerState.OPEN),
+            (3.5, BreakerState.HALF_OPEN),
+            (4.0, BreakerState.CLOSED),
+        ]
+
+
+class TestRegistry:
+    def test_per_link_isolation(self):
+        registry = BreakerRegistry(FAST_TRIP)
+        registry.record_failure("A", "B", 1.0)
+        registry.record_failure("A", "B", 1.1)
+        assert not registry.allow("A", "B", 1.5)
+        assert registry.allow("B", "A", 1.5)  # reverse direction untouched
+        assert registry.allow("A", "C", 1.5)
+
+    def test_total_trips_and_snapshot(self):
+        registry = BreakerRegistry(FAST_TRIP)
+        registry.record_failure("A", "B", 1.0)
+        registry.record_failure("A", "B", 1.1)
+        registry.record_success("B", "A", 1.0)
+        assert registry.total_trips() == 1
+        assert registry.snapshot(when=1.5) == {
+            "A->B": "open",
+            "B->A": "closed",
+        }
+        assert registry.snapshot(when=2.5) == {
+            "A->B": "half-open",
+            "B->A": "closed",
+        }

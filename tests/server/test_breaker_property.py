@@ -1,0 +1,101 @@
+"""Property tests for the circuit-breaker state machine (satellite of
+the serving PR): the three invariants the docs promise.
+
+1. **No silent recovery**: a breaker never goes OPEN -> CLOSED without
+   a HALF_OPEN probe in between, for *any* event history.
+2. **Probe semantics**: at a HALF_OPEN instant, a success closes the
+   breaker and a failure re-opens it.
+3. **Purity**: breaker decisions are a pure function of the
+   (time-ordered) event history and the clock — recording order is
+   irrelevant, and events after ``when`` cannot influence
+   ``state_at(when)``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server import BreakerConfig, BreakerState, CircuitBreaker
+
+configs = st.builds(
+    BreakerConfig,
+    failure_threshold=st.sampled_from([0.25, 0.5, 0.75, 1.0]),
+    window=st.integers(min_value=1, max_value=8),
+    min_volume=st.integers(min_value=1, max_value=6),
+    cooldown=st.sampled_from([0.25, 0.5, 1.0]),
+)
+
+# Instants on a coarse grid so histories genuinely collide with
+# cooldown boundaries; outcomes are (when, ok) pairs.
+instants = st.integers(min_value=0, max_value=40).map(lambda i: i * 0.25)
+events = st.lists(st.tuples(instants, st.booleans()), max_size=30)
+
+
+def replay(config: BreakerConfig, history) -> CircuitBreaker:
+    breaker = CircuitBreaker(config)
+    for when, ok in history:
+        breaker.record(when, ok)
+    return breaker
+
+
+@given(config=configs, history=events)
+def test_never_open_to_closed_without_probe(config, history):
+    trace = replay(config, history).transitions()
+    for (_, before), (_, after) in zip(trace, trace[1:]):
+        if before is BreakerState.OPEN:
+            assert after is BreakerState.HALF_OPEN
+        if after is BreakerState.CLOSED:
+            assert before is BreakerState.HALF_OPEN
+
+
+@given(
+    config=configs,
+    history=st.lists(
+        st.tuples(instants, st.booleans()),
+        max_size=30,
+        unique_by=lambda e: e[0],  # one event per instant: the state an
+        # event was applied in is unambiguous from the transition trace
+    ),
+)
+def test_half_open_probe_decides(config, history):
+    breaker = replay(config, history)
+    for when, ok in history:
+        trace = breaker.transitions(when)
+        # State the machine was in when this event was applied: the
+        # last transition strictly before the event instant (the event
+        # itself may appear in the trace at the same instant).
+        prior = [s for t, s in trace if t < when]
+        state_then = prior[-1] if prior else BreakerState.CLOSED
+        if state_then is BreakerState.HALF_OPEN:
+            after = breaker.state_at(when)
+            assert after is (BreakerState.CLOSED if ok else BreakerState.OPEN)
+
+
+@given(
+    config=configs,
+    history=st.lists(
+        st.tuples(instants, st.booleans()),
+        max_size=20,
+        unique_by=lambda e: e[0],  # distinct instants: one true timeline
+    ),
+    probe=instants,
+    data=st.data(),
+)
+@settings(max_examples=200)
+def test_purity_recording_order_is_irrelevant(config, history, probe, data):
+    shuffled = data.draw(st.permutations(history))
+    ordered = replay(config, history)
+    reordered = replay(config, shuffled)
+    assert ordered.state_at(probe) is reordered.state_at(probe)
+    assert ordered.transitions() == reordered.transitions()
+
+
+@given(config=configs, history=events, later=events)
+def test_purity_future_events_do_not_rewrite_the_past(config, history, later):
+    breaker = replay(config, history)
+    horizon = max((when for when, _ in history), default=0.0)
+    before = {when: breaker.state_at(when) for when, _ in history}
+    trace_before = breaker.transitions(horizon)
+    for when, ok in later:
+        breaker.record(horizon + 0.25 + when, ok)
+    assert {when: breaker.state_at(when) for when, _ in history} == before
+    assert breaker.transitions(horizon) == trace_before

@@ -1,0 +1,107 @@
+"""Workload parsing and request validation tests."""
+
+import json
+
+import pytest
+
+from repro.errors import ExecutionError, InvalidParameterError
+from repro.server import QueryRequest, load_workload, workload_from_queries
+
+
+class TestQueryRequest:
+    def test_defaults(self):
+        request = QueryRequest(sql="SELECT 1")
+        assert request.arrival == 0.0
+        assert request.deadline is None
+        assert request.priority == 0
+        assert request.absolute_deadline(None) is None
+        assert request.absolute_deadline(2.0) == 2.0
+
+    def test_deadline_is_relative_to_arrival(self):
+        request = QueryRequest(sql="SELECT 1", arrival=1.5, deadline=0.5)
+        assert request.absolute_deadline(None) == 2.0
+        assert request.absolute_deadline(100.0) == 2.0  # own deadline wins
+
+    def test_label_prefers_name_then_truncates_sql(self):
+        assert QueryRequest(sql="SELECT 1", name="Q1").label == "Q1"
+        long = QueryRequest(sql="SELECT " + ", ".join(f"c{i}" for i in range(30)))
+        assert len(long.label) == 40
+        assert long.label.endswith("...")
+
+    def test_invalid_fields_raise_typed_errors(self):
+        with pytest.raises(ExecutionError):
+            QueryRequest(sql="SELECT 1", arrival=-0.1)
+        with pytest.raises(InvalidParameterError):
+            QueryRequest(sql="SELECT 1", deadline=-1.0)
+
+
+class TestWorkloadFromQueries:
+    def test_spacing_and_repeat(self):
+        workload = workload_from_queries(
+            [("a", "SELECT 1"), ("b", "SELECT 2")],
+            interarrival=0.5,
+            deadline=2.0,
+            repeat=2,
+        )
+        assert [r.arrival for r in workload] == [0.0, 0.5, 1.0, 1.5]
+        assert [r.name for r in workload] == ["a#0", "b#0", "a#1", "b#1"]
+        assert all(r.deadline == 2.0 for r in workload)
+
+
+class TestLoadWorkload:
+    def test_parses_objects_and_bare_strings(self, tmp_path):
+        path = tmp_path / "wl.json"
+        path.write_text(
+            json.dumps(
+                [
+                    "SELECT 1",
+                    {"query": "Q3", "arrival": 0.5, "deadline": 1.0, "priority": 2},
+                ]
+            )
+        )
+        workload = load_workload(path, resolve=lambda t: t.lower())
+        assert [r.sql for r in workload] == ["select 1", "q3"]
+        assert workload[1].name == "Q3"  # resolved entries keep their name
+        assert workload[1].priority == 2
+
+    def test_queries_wrapper_and_arrival_sort(self, tmp_path):
+        path = tmp_path / "wl.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "queries": [
+                        {"query": "b", "arrival": 1.0},
+                        {"query": "a", "arrival": 0.0},
+                    ]
+                }
+            )
+        )
+        assert [r.sql for r in load_workload(path)] == ["a", "b"]
+
+    def test_missing_file_is_typed(self, tmp_path):
+        with pytest.raises(ExecutionError, match="cannot read workload file"):
+            load_workload(tmp_path / "absent.json")
+
+    def test_invalid_json_is_typed(self, tmp_path):
+        path = tmp_path / "wl.json"
+        path.write_text("{nope")
+        with pytest.raises(ExecutionError, match="not valid JSON"):
+            load_workload(path)
+
+    def test_non_list_payload_is_typed(self, tmp_path):
+        path = tmp_path / "wl.json"
+        path.write_text('{"wrong": 1}')
+        with pytest.raises(ExecutionError, match="must be a JSON list"):
+            load_workload(path)
+
+    def test_entry_without_query_is_typed(self, tmp_path):
+        path = tmp_path / "wl.json"
+        path.write_text('[{"arrival": 0.0}]')
+        with pytest.raises(ExecutionError, match="entry #0"):
+            load_workload(path)
+
+    def test_bad_field_type_is_typed(self, tmp_path):
+        path = tmp_path / "wl.json"
+        path.write_text('[{"query": "q", "arrival": "soon"}]')
+        with pytest.raises(ExecutionError, match="bad workload entry #0"):
+            load_workload(path)

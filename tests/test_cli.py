@@ -83,3 +83,33 @@ def test_run_small_query(capsys):
 def test_invalid_sql_exit_code(capsys):
     assert main(["explain", "SELEKT broken"]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+def test_serve_workload(tmp_path, capsys):
+    workload = tmp_path / "workload.json"
+    workload.write_text(
+        '[{"query": "Q3", "arrival": 0.0},'
+        ' {"query": "Q3", "arrival": 0.0, "deadline": 1e-6}]'
+    )
+    # concurrency 1: the second request waits behind the first and its
+    # deadline passes in the queue -> shed, never started.
+    assert main(
+        ["serve", str(workload), "--scale", "0.001", "--concurrency", "1"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "Q3: served" in captured.out
+    assert "SHED" in captured.out
+    assert "1 shed" in captured.err
+    assert "breakers:" in captured.err
+
+
+def test_serve_missing_workload_file_exit_code(tmp_path, capsys):
+    assert main(["serve", str(tmp_path / "absent.json")]) == 1
+    assert "cannot read workload file" in capsys.readouterr().err
+
+
+def test_serve_invalid_knob_exit_code(tmp_path, capsys):
+    workload = tmp_path / "workload.json"
+    workload.write_text('["Q3"]')
+    assert main(["serve", str(workload), "--concurrency", "0"]) == 1
+    assert "positive integer" in capsys.readouterr().err
