@@ -20,21 +20,30 @@ curated policy sets, and both optimizers:
                                            [--breaker-threshold F]
                                            [--breaker-cooldown S] [--no-breakers]
     python -m repro audit    "SELECT ..."  [--set CR]
+    python -m repro audit    trace.jsonl   [--set CR | --policies FILE]
     python -m repro policies [--set CR]
     python -m repro queries                      # the six TPC-H queries
 
 Named queries (``Q2``, ``Q3``, ``Q5``, ``Q8``, ``Q9``, ``Q10``) may be
 used in place of SQL text (in ``serve`` workload files too).
 
+``run`` and ``serve`` accept ``--trace FILE`` to record every optimizer
+decision, SHIP attempt, and admission event as deterministic JSONL;
+``audit`` with an existing trace file replays it against the policy set
+through the independent compliance auditor (docs/OBSERVABILITY.md).
+
 Exit codes: 0 success, 1 error, 2 query rejected as non-compliant,
 3 injected faults degraded the query to a partial-failure result (or,
-for ``serve``, degraded at least one workload query).
+for ``serve``, degraded at least one workload query), 4 the trace audit
+found at least one compliance violation.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from contextlib import nullcontext
 
 from .errors import NonCompliantQueryError, ReproError
 from .execution import (
@@ -51,8 +60,10 @@ from .optimizer import (
 )
 from .plan import explain_annotated, explain_physical
 from .policy import PolicyEvaluator, describe_local_query
+from .policy.catalog import PolicyCatalog
 from .server import BreakerConfig, BreakerRegistry, QueryServer, load_workload
 from .sql import Binder
+from .trace import ComplianceAuditor, TraceRecorder, tracing
 from .tpch import (
     LOCATIONS,
     QUERIES,
@@ -153,6 +164,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="cap each fragment's input-delivery span on the simulated "
         "clock; exceeding it triggers failover (default: no cap)",
+    )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record optimizer decisions and every SHIP attempt as "
+        "deterministic JSONL to FILE (audit it with 'repro audit FILE')",
     )
 
     serve = sub.add_parser(
@@ -259,11 +277,40 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="thread-pool size per query (default: min(8, #cores))",
     )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record admission decisions and every SHIP attempt of the "
+        "whole workload as deterministic JSONL to FILE",
+    )
 
     audit = sub.add_parser(
-        "audit", help="legal shipping destinations of a (single-database) query"
+        "audit",
+        help="audit a recorded execution trace against the policy set "
+        "(exit 4 on violation), or print the legal shipping "
+        "destinations of a (single-database) query",
     )
-    add_common(audit)
+    audit.add_argument(
+        "query",
+        metavar="QUERY_OR_TRACE",
+        help="a JSONL trace file recorded with --trace, or SQL text / a "
+        "named TPC-H query (Q2..Q10)",
+    )
+    audit.add_argument(
+        "--set",
+        dest="policy_set",
+        default="CR",
+        choices=["T", "C", "CR", "CR+A"],
+        help="curated policy-expression set (default: CR)",
+    )
+    audit.add_argument(
+        "--policies",
+        default=None,
+        metavar="FILE",
+        help="audit against policy expressions from FILE (one per line, "
+        "'#' comments) instead of a curated --set",
+    )
 
     policies = sub.add_parser("policies", help="print a curated policy set")
     add_common(policies, with_query=False)
@@ -308,34 +355,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
     network = default_network()
     policy_catalog = curated_policies(catalog, args.policy_set)
     optimizer = CompliantOptimizer(catalog, policy_catalog, network)
-    result = optimizer.optimize(_resolve_sql(args.query))
-    if args.explain_fragments:
-        print(explain_fragments(fragment_plan(result.plan)))
-        print()
-    faults = None
-    retry_policy = None
-    if args.faults is not None:
-        faults = parse_fault_spec(args.faults, locations=catalog.locations)
-        parallel = True  # faults live on the fragment scheduler's clock
-    else:
-        parallel = args.parallel
-    if args.retries is not None or args.fragment_timeout is not None:
-        defaults = RetryPolicy()
-        retry_policy = RetryPolicy(
-            max_retries=defaults.max_retries if args.retries is None else args.retries,
-            fragment_timeout=args.fragment_timeout,
+    recorder = TraceRecorder() if args.trace is not None else None
+    with tracing(recorder) if recorder is not None else nullcontext():
+        result = optimizer.optimize(_resolve_sql(args.query))
+        if args.explain_fragments:
+            print(explain_fragments(fragment_plan(result.plan)))
+            print()
+        faults = None
+        retry_policy = None
+        if args.faults is not None:
+            faults = parse_fault_spec(args.faults, locations=catalog.locations)
+            parallel = True  # faults live on the fragment scheduler's clock
+        else:
+            parallel = args.parallel
+        if args.retries is not None or args.fragment_timeout is not None:
+            defaults = RetryPolicy()
+            retry_policy = RetryPolicy(
+                max_retries=defaults.max_retries
+                if args.retries is None
+                else args.retries,
+                fragment_timeout=args.fragment_timeout,
+            )
+        engine = ExecutionEngine(
+            database,
+            network,
+            policy_guard=optimizer.evaluator,
+            parallel=parallel,
+            max_workers=args.workers,
+            faults=faults,
+            retry_policy=retry_policy,
+            executor=args.executor,
         )
-    engine = ExecutionEngine(
-        database,
-        network,
-        policy_guard=optimizer.evaluator,
-        parallel=parallel,
-        max_workers=args.workers,
-        faults=faults,
-        retry_policy=retry_policy,
-        executor=args.executor,
-    )
-    output = engine.execute(result.plan)
+        output = engine.execute(result.plan)
+    if recorder is not None:
+        events = recorder.write(args.trace)
+        print(f"trace: {events} events -> {args.trace}", file=sys.stderr)
     print("\t".join(output.columns))
     for row in output.rows[: args.limit]:
         print("\t".join(str(v) for v in row))
@@ -423,7 +477,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor=args.executor,
         max_workers=args.workers,
     )
-    result = server.serve(requests)
+    recorder = TraceRecorder() if args.trace is not None else None
+    with tracing(recorder) if recorder is not None else nullcontext():
+        result = server.serve(requests)
+    if recorder is not None:
+        events = recorder.write(args.trace)
+        print(f"trace: {events} events -> {args.trace}", file=sys.stderr)
     for outcome in result.outcomes:
         print(outcome.describe())
     print(f"\n{result.metrics.summary()}", file=sys.stderr)
@@ -440,8 +499,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 3 if result.metrics.partial else 0
 
 
+def _load_policy_file(catalog, path: str) -> PolicyCatalog:
+    policies = PolicyCatalog(catalog)
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            policies.add_text(text)
+    return policies
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
     catalog = build_catalog(scale=1.0)
+    if os.path.isfile(args.query):
+        # Trace-audit mode: replay a recorded execution against the
+        # policy set through the independent compliance auditor.
+        if args.policies is not None:
+            policy_catalog = _load_policy_file(catalog, args.policies)
+        else:
+            policy_catalog = curated_policies(catalog, args.policy_set)
+        report = ComplianceAuditor(policy_catalog).audit_file(args.query)
+        print(report.summary())
+        for violation in report.violations:
+            print(f"  VIOLATION: {violation}")
+        return 4 if report.violations else 0
+    if args.policies is not None:
+        print(
+            "error: --policies requires a trace file (the query form "
+            "audits against a curated --set)",
+            file=sys.stderr,
+        )
+        return 1
     policy_catalog = curated_policies(catalog, args.policy_set)
     plan = Binder(catalog).bind_sql(_resolve_sql(args.query))
     local_query = describe_local_query(plan)

@@ -140,6 +140,22 @@ class FragmentTimeoutError(FaultError):
         super().__init__(message)
 
 
+class TraceFormatError(ReproError):
+    """A serialized execution trace (JSONL) could not be parsed: a line
+    is not valid JSON, an event has an unknown ``kind``, a required
+    field is missing, or an embedded payload descriptor does not decode
+    to a logical plan.  Raised by :mod:`repro.trace` readers so the
+    ``repro audit`` CLI reports a malformed trace as one typed error
+    (exit 1) instead of a stack trace — and never as a silently-passing
+    audit."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
 class AdmissionRejected(ExecutionError):
     """The query server refused a request because its bounded waiting
     queue was full.  Deliberately *not* a :class:`FaultError`: rejection

@@ -34,6 +34,7 @@ from ..errors import ComplianceViolationError, ExecutionError
 from ..geo import GeoDatabase, NetworkModel, synthetic_network
 from ..plan import PhysicalPlan
 from ..policy import PolicyEvaluator
+from ..trace import current_recorder
 from .faults import FaultPlan
 from .metrics import ExecutionMetrics, PartialFailure
 from .recovery import RetryPolicy
@@ -136,26 +137,45 @@ class ExecutionEngine:
                 "fault injection requires the fragment scheduler; pass "
                 "parallel=True"
             )
+        recorder = current_recorder()
+        query = None
+        if recorder is not None:
+            query = recorder.begin_query(
+                executor=self.executor, parallel=use_parallel
+            )
         start = time.perf_counter()
-        if use_parallel:
-            scheduler = FragmentScheduler(
-                self.database,
-                self.network,
-                max_workers=self.max_workers,
-                faults=self.faults,
-                retry_policy=self.retry_policy,
-                compliance_guard=self.policy_guard,
-                executor=self.executor,
-            )
-            (columns, rows), metrics = scheduler.run(plan)
-        else:
-            metrics = ExecutionMetrics()
-            executor = EXECUTOR_BACKENDS[self.executor](
-                self.database, self.network, metrics
-            )
-            columns, rows = executor.run(plan)
+        try:
+            if use_parallel:
+                scheduler = FragmentScheduler(
+                    self.database,
+                    self.network,
+                    max_workers=self.max_workers,
+                    faults=self.faults,
+                    retry_policy=self.retry_policy,
+                    compliance_guard=self.policy_guard,
+                    executor=self.executor,
+                )
+                (columns, rows), metrics = scheduler.run(plan)
+            else:
+                metrics = ExecutionMetrics()
+                executor = EXECUTOR_BACKENDS[self.executor](
+                    self.database, self.network, metrics
+                )
+                columns, rows = executor.run(plan)
+        except BaseException:
+            if recorder is not None:
+                recorder.end_query(query, at=0.0, status="error")
+            raise
         elapsed = time.perf_counter() - start
         metrics.rows_output = len(rows)
+        if recorder is not None:
+            recorder.end_query(
+                query,
+                at=metrics.makespan_seconds,
+                status="ok" if metrics.partial_failure is None else "partial",
+                rows=len(rows),
+                makespan=metrics.makespan_seconds,
+            )
         return ExecutionResult(
             columns=columns, rows=rows, metrics=metrics, seconds=elapsed
         )

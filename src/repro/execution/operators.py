@@ -27,6 +27,7 @@ from ..plan import (
     TableScan,
     UnionAll,
 )
+from ..trace import current_recorder
 from .metrics import ExecutionMetrics
 
 Row = tuple
@@ -194,6 +195,17 @@ class OperatorExecutor:
         self.metrics.record_ship(
             self.network, node.source, node.target, len(batch.rows), batch.nbytes
         )
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.record_local_ship(
+                node,
+                rows=len(batch.rows),
+                nbytes=batch.nbytes,
+                columns=batch.columns,
+                seconds=self.network.transfer_time(
+                    node.source, node.target, batch.nbytes
+                ),
+            )
         return batch
 
     # -- joins -----------------------------------------------------------------

@@ -69,6 +69,7 @@ from ..errors import (
     TransferError,
 )
 from ..geo import FaultAwareNetwork, GeoDatabase, LinkGovernor, NetworkModel
+from ..trace import RecoveryEvent, ShipEvent, current_recorder, encode_payload
 from ..validation import validate_positive_int, validate_timeout
 from ..plan import PhysicalPlan, Ship
 from .faults import FaultPlan
@@ -280,6 +281,14 @@ class _ChaosRun:
         self.breaker_fast_fails = 0
         #: Sites a fragment has already failed at (never retried).
         self._excluded: dict[int, set[str]] = {}
+        #: Trace recorder resolved once on the coordinator thread (the
+        #: pool's worker threads never emit).  ``None`` when disabled.
+        self.recorder = current_recorder()
+        #: Encoded payload descriptor per producer fragment index.  A
+        #: payload depends only on the fragment's logical content and
+        #: its (immovable) scan sites, so the cache survives failover
+        #: re-placements and is shared by retry re-deliveries.
+        self._payload_cache: dict[int, dict] = {}
 
     # -- worker side -----------------------------------------------------------
 
@@ -477,6 +486,21 @@ class _ChaosRun:
         timeout = self.policy.fragment_timeout
         now = begin
         attempts = 0
+        def trace(outcome: str, at: float, seconds: float | None = None) -> None:
+            if self.recorder is not None:
+                self._trace_attempt(
+                    producer_index,
+                    consumer_index,
+                    source,
+                    target_site,
+                    batch,
+                    nbytes,
+                    attempts,
+                    outcome,
+                    at,
+                    seconds,
+                )
+
         while True:
             attempts += 1
             try:
@@ -488,13 +512,16 @@ class _ChaosRun:
                     # already knows the link is bad.  The admission loop
                     # consults failover next.
                     self.breaker_fast_fails += 1
+                    trace("circuit_open", now)
                     raise
                 if not error.transient or attempts >= self.policy.max_attempts:
+                    trace("link_down" if not error.transient else "retry_exhausted", now)
                     raise
                 pause = self.policy.backoff(
                     attempts, producer_index, source, target_site
                 )
                 if timeout is not None and (now + pause) - begin > timeout:
+                    trace("timeout", now)
                     timeout_error = FragmentTimeoutError(
                         f"inputs of fragment f{consumer_index} exceeded the "
                         f"{timeout:g}s fragment timeout while retrying "
@@ -503,13 +530,16 @@ class _ChaosRun:
                     )
                     timeout_error.at = now
                     raise timeout_error from error
+                trace("transient", now)
                 now += pause
                 continue
             except SiteUnavailableError as error:
                 error.at = now
+                trace("site_down", now)
                 raise
             delivered = now + seconds
             if timeout is not None and delivered - begin > timeout:
+                trace("timeout", now, seconds)
                 timeout_error = FragmentTimeoutError(
                     f"delivery {source} -> {target_site} took "
                     f"{delivered - begin:.3f}s, exceeding the {timeout:g}s "
@@ -518,6 +548,7 @@ class _ChaosRun:
                 )
                 timeout_error.at = delivered
                 raise timeout_error
+            trace("delivered", now, seconds)
             record = ShipRecord(
                 source=source,
                 target=target_site,
@@ -528,6 +559,45 @@ class _ChaosRun:
                 retry_wait_seconds=now - begin,
             )
             return delivered, record
+
+    def _trace_attempt(
+        self,
+        producer_index: int,
+        consumer_index: int,
+        source: str,
+        target: str,
+        batch: RowBatch,
+        nbytes: int,
+        attempt: int,
+        outcome: str,
+        at: float,
+        seconds: float | None,
+    ) -> None:
+        """Emit one ship-attempt event (coordinator thread only).  The
+        emission *order* across independent fragments is racy, so the
+        event is marked unstable and the recorder orders it by its
+        simulated instant instead."""
+        payload = self._payload_cache.get(producer_index)
+        if payload is None:
+            payload = encode_payload(self.dag.fragments[producer_index].root)
+            self._payload_cache[producer_index] = payload
+        self.recorder.emit(
+            ShipEvent(
+                at=at,
+                source=source,
+                target=target,
+                rows=len(batch.rows),
+                bytes=nbytes,
+                attempt=attempt,
+                outcome=outcome,
+                seconds=seconds,
+                producer=producer_index,
+                consumer=consumer_index,
+                columns=list(batch.columns),
+                payload=payload,
+            ),
+            stable=False,
+        )
 
     def _failover(self, index: int, error: FaultError, detected: float) -> float:
         """Re-place fragment ``index`` after ``error``, compliance
@@ -559,6 +629,18 @@ class _ChaosRun:
                 validated=failover.validated,
             )
         )
+        if self.recorder is not None:
+            self.recorder.emit(
+                RecoveryEvent(
+                    at=detected,
+                    fragment=index,
+                    source=failover.from_site,
+                    target=failover.to_site,
+                    reason=failover.reason,
+                    validated=failover.validated,
+                ),
+                stable=False,
+            )
         resume = detected + self.policy.detection_seconds
         if index in self.results:
             # An already-computed fragment (its site died holding the

@@ -58,6 +58,7 @@ from ..plan import (
     TableScan,
     UnionAll,
 )
+from ..trace import current_recorder
 from .metrics import ExecutionMetrics
 from .operators import RowBatch
 
@@ -235,10 +236,19 @@ class BatchOperatorExecutor:
     def _ship(self, node: Ship) -> ColumnBatch:
         assert node.child is not None
         batch = self.run_batch(node.child)
+        nbytes = column_bytes(batch.data)
         self.metrics.record_ship(
-            self.network, node.source, node.target, batch.nrows,
-            column_bytes(batch.data),
+            self.network, node.source, node.target, batch.nrows, nbytes
         )
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.record_local_ship(
+                node,
+                rows=batch.nrows,
+                nbytes=nbytes,
+                columns=batch.columns,
+                seconds=self.network.transfer_time(node.source, node.target, nbytes),
+            )
         return batch
 
     # -- joins -----------------------------------------------------------------

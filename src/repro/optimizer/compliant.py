@@ -18,6 +18,7 @@ from ..geo import NetworkModel, synthetic_network
 from ..plan import LogicalPlan, LogicalSort, PhysicalPlan, Sort
 from ..policy import PolicyCatalog, PolicyEvaluator
 from ..sql import Binder
+from ..trace import current_recorder
 from .annotator import AnnotateResult, PlanAnnotator, default_rules
 from .cost import CostModel
 from .normalize import normalize
@@ -111,7 +112,7 @@ class CompliantOptimizer:
             )
         phase2 = time.perf_counter() - start
 
-        return OptimizationResult(
+        result = OptimizationResult(
             plan=physical,
             normalized=core,
             annotate=annotated,
@@ -119,6 +120,10 @@ class CompliantOptimizer:
             phase1_seconds=phase1,
             phase2_seconds=phase2,
         )
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.record_optimization(result)
+        return result
 
     def is_legal(self, query: str | LogicalPlan) -> bool:
         """Does the query have at least one compliant plan in the explored

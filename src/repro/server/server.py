@@ -59,6 +59,7 @@ from ..execution.recovery import RetryPolicy
 from ..execution.scheduler import FragmentScheduler
 from ..geo import GeoDatabase, NetworkModel
 from ..plan import PhysicalPlan
+from ..trace import current_recorder
 from ..validation import validate_positive_int, validate_timeout
 from .breaker import BreakerRegistry
 from .metrics import ServerMetrics
@@ -237,17 +238,21 @@ class QueryServer:
                 absolute = request.absolute_deadline(self.default_deadline)
                 if absolute is not None and now > absolute:
                     heapq.heappop(queue)
-                    outcomes[index] = QueryOutcome(
-                        request=request,
-                        status="shed",
-                        error=DeadlineExceeded(
-                            f"request {request.label!r} spent "
-                            f"{now - request.arrival:.3f}s queued, past its "
-                            f"deadline of t={absolute:.3f}s",
-                            deadline=absolute,
-                            at=now,
-                        ),
+                    error = DeadlineExceeded(
+                        f"request {request.label!r} spent "
+                        f"{now - request.arrival:.3f}s queued, past its "
+                        f"deadline of t={absolute:.3f}s",
+                        deadline=absolute,
+                        at=now,
                     )
+                    outcomes[index] = QueryOutcome(
+                        request=request, status="shed", error=error
+                    )
+                    recorder = current_recorder()
+                    if recorder is not None:
+                        recorder.record_request(
+                            "shed", request.label, at=now, detail=str(error)
+                        )
                     continue
                 plan = self._plan_for(request)
                 sites = Counter(f.location for f in fragment_plan(plan).fragments)
@@ -272,17 +277,23 @@ class QueryServer:
                 dispatch(now)
                 continue
             index, request = event.payload
+            recorder = current_recorder()
+            if recorder is not None:
+                recorder.record_request("arrival", request.label, at=now)
             if len(queue) >= self.queue_depth:
-                outcomes[index] = QueryOutcome(
-                    request=request,
-                    status="rejected",
-                    error=AdmissionRejected(
-                        f"request {request.label!r} rejected at "
-                        f"t={now:.3f}s: waiting queue is full "
-                        f"({self.queue_depth} requests)",
-                        queue_depth=self.queue_depth,
-                    ),
+                error = AdmissionRejected(
+                    f"request {request.label!r} rejected at "
+                    f"t={now:.3f}s: waiting queue is full "
+                    f"({self.queue_depth} requests)",
+                    queue_depth=self.queue_depth,
                 )
+                outcomes[index] = QueryOutcome(
+                    request=request, status="rejected", error=error
+                )
+                if recorder is not None:
+                    recorder.record_request(
+                        "rejected", request.label, at=now, detail=str(error)
+                    )
                 continue
             heapq.heappush(queue, (-request.priority, request.arrival, index, request))
             dispatch(now)
@@ -304,6 +315,15 @@ class QueryServer:
         now: float,
         absolute_deadline: float | None,
     ) -> QueryOutcome:
+        recorder = current_recorder()
+        query = None
+        if recorder is not None:
+            query = recorder.begin_query(
+                label=request.label,
+                at=now,
+                executor=self.scheduler.executor,
+                parallel=True,
+            )
         try:
             batch, run_metrics = self.scheduler.run(
                 plan, start_at=now, deadline=absolute_deadline
@@ -311,16 +331,32 @@ class QueryServer:
         except DeadlineExceeded as error:
             # Cooperative cancellation at a fragment boundary; the
             # capacity the query held is released at the shed instant.
+            shed_at = error.at if error.at is not None else now
+            if recorder is not None:
+                recorder.record_request(
+                    "shed", request.label, at=shed_at, detail=str(error)
+                )
+                recorder.end_query(query, at=shed_at, status="shed")
             return QueryOutcome(
                 request=request,
                 status="shed",
                 error=error,
                 started_at=now,
-                finished_at=error.at if error.at is not None else now,
+                finished_at=shed_at,
             )
         finished = max(now, run_metrics.makespan_seconds)
         if run_metrics.partial_failure is not None:
             failure = run_metrics.partial_failure
+            if recorder is not None:
+                recorder.record_request(
+                    "partial", request.label, at=finished, detail=str(failure)
+                )
+                recorder.end_query(
+                    query,
+                    at=finished,
+                    status="partial",
+                    makespan=run_metrics.makespan_seconds,
+                )
             return QueryOutcome(
                 request=request,
                 status="partial",
@@ -328,6 +364,18 @@ class QueryServer:
                 started_at=now,
                 finished_at=finished,
                 metrics=run_metrics,
+            )
+        late = absolute_deadline is not None and finished > absolute_deadline
+        if recorder is not None:
+            recorder.record_request(
+                "served_late" if late else "served", request.label, at=finished
+            )
+            recorder.end_query(
+                query,
+                at=finished,
+                status="ok",
+                rows=len(batch.rows),
+                makespan=run_metrics.makespan_seconds,
             )
         return QueryOutcome(
             request=request,
@@ -337,7 +385,7 @@ class QueryServer:
             started_at=now,
             finished_at=finished,
             metrics=run_metrics,
-            late=absolute_deadline is not None and finished > absolute_deadline,
+            late=late,
         )
 
     # -- accounting -------------------------------------------------------------

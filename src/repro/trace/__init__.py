@@ -1,0 +1,69 @@
+"""Execution tracing and post-hoc compliance auditing.
+
+A :class:`TraceRecorder` installed with :func:`tracing` collects typed
+events from every instrumented layer — optimizer trait/placement
+decisions, every SHIP attempt (retries, breaker fast-fails, failover
+re-deliveries included) on the simulated WAN clock, and query-server
+admission/shedding decisions — and serializes them to deterministic
+JSONL.  A :class:`ComplianceAuditor` then replays a trace against a
+policy set and re-derives, per shipped payload, the set of permitted
+destinations via the Algorithm-1 evaluator: the paper's Theorem 1
+(optimizer soundness) turned into an executable runtime oracle.  See
+docs/OBSERVABILITY.md.
+"""
+
+from .auditor import AuditReport, ComplianceAuditor, ComplianceViolation
+from .codec import (
+    decode_expression,
+    decode_logical,
+    encode_expression,
+    encode_logical,
+    encode_payload,
+)
+from .events import (
+    EVENT_TYPES,
+    SHIP_OUTCOMES,
+    OptimizedEvent,
+    PlacementEvent,
+    QueryEnd,
+    QueryStart,
+    RecoveryEvent,
+    RequestEvent,
+    ShipEvent,
+    TraceEvent,
+    event_from_dict,
+)
+from .recorder import (
+    TraceRecorder,
+    current_recorder,
+    parse_trace,
+    read_trace,
+    tracing,
+)
+
+__all__ = [
+    "AuditReport",
+    "ComplianceAuditor",
+    "ComplianceViolation",
+    "EVENT_TYPES",
+    "OptimizedEvent",
+    "PlacementEvent",
+    "QueryEnd",
+    "QueryStart",
+    "RecoveryEvent",
+    "RequestEvent",
+    "SHIP_OUTCOMES",
+    "ShipEvent",
+    "TraceEvent",
+    "TraceRecorder",
+    "current_recorder",
+    "decode_expression",
+    "decode_logical",
+    "encode_expression",
+    "encode_logical",
+    "encode_payload",
+    "event_from_dict",
+    "parse_trace",
+    "read_trace",
+    "tracing",
+]

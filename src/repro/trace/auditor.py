@@ -1,0 +1,247 @@
+"""Post-hoc compliance auditing of execution traces.
+
+:class:`ComplianceAuditor` replays a trace against a policy set and
+schema and checks the end-to-end invariant behind the paper's Theorem 1
+at the level of *observed behavior*: every SHIP attempt's destination —
+delivered or not, first try or retry, before or after failover — must
+lie in the permitted-location set of the payload it tried to move.
+
+The auditor is deliberately **independent of the optimizer and the
+execution engine**: it sees only the serialized events and re-derives
+each payload's permitted destinations from the embedded payload
+descriptor (:mod:`repro.trace.codec`) and the policy set, re-running
+the Algorithm-1 evaluator per sub-payload exactly like the content-based
+validator does:
+
+* a scan's result is permitted at the scan's site, plus whatever 𝒜
+  grants its (single-database) subquery;
+* an internal operator's result is permitted wherever *all* of its
+  inputs are permitted, plus the 𝒜 grant of its own subquery (masking
+  projections and aggregations can legalize more sites than their
+  inputs had — the paper's Fig. 1(b) masking pattern);
+* grants apply only to single-database, union-free subqueries —
+  Algorithm 1's domain.
+
+Crucially this set depends only on the payload's *content* and the
+(immovable) scan sites, never on where operators were placed — so the
+verdict is meaningful even for transfers attempted by failover-re-placed
+fragments, and a corrupted placement cannot launder data by moving the
+operators along with it.
+
+One placement fact *is* checked against the schema: every scan in every
+payload must sit at the site its stored table actually lives at
+(``displaced-scan``).  A runtime that "relocated" a scan would read the
+table remotely without any SHIP event ever crossing the wire — the one
+movement a transfer-level audit alone could not see.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..policy import PolicyCatalog, PolicyEvaluator, describe_local_query
+from ..plan import LogicalPlan, LogicalScan, LogicalUnion
+from .codec import decode_logical
+from .events import RecoveryEvent, ShipEvent, TraceEvent
+from .recorder import read_trace
+
+
+@dataclass(frozen=True)
+class ComplianceViolation:
+    """One audited transfer (or scan placement) the policies forbid."""
+
+    query: int
+    at: float
+    category: str  # "forbidden-destination" | "displaced-scan" | "unauditable"
+    source: str
+    target: str
+    permitted: tuple[str, ...]
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"[query {self.query} @ t={self.at:.3f}s] {self.category}: "
+            f"{self.message}"
+        )
+
+
+@dataclass
+class AuditReport:
+    """The auditor's verdict over one trace."""
+
+    events: int = 0
+    queries: int = 0
+    #: SHIP attempts audited (all outcomes, including failed attempts).
+    attempts: int = 0
+    #: Audited attempts that crossed a border (source != target).
+    cross_border: int = 0
+    #: Distinct payload descriptors whose permitted sets were derived.
+    payloads: int = 0
+    #: Failovers recorded without a compliance guard (informational).
+    unvalidated_recoveries: int = 0
+    violations: list[ComplianceViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = (
+            "COMPLIANT"
+            if self.ok
+            else f"NON-COMPLIANT ({len(self.violations)} violations)"
+        )
+        return (
+            f"audit: {verdict} — {self.events} events, {self.queries} queries, "
+            f"{self.attempts} transfer attempts ({self.cross_border} "
+            f"cross-border), {self.payloads} distinct payloads"
+        )
+
+
+class ComplianceAuditor:
+    """Audits traces against one policy catalog (and its schema)."""
+
+    def __init__(self, policies: PolicyCatalog) -> None:
+        self.policies = policies
+        self.evaluator = PolicyEvaluator(policies)
+        #: permitted-set cache keyed by canonical payload JSON — retry
+        #: and failover attempts re-ship the same payload.
+        self._permitted_cache: dict[str, frozenset[str]] = {}
+
+    # -- the permitted-location set of a payload --------------------------------
+
+    def permitted_destinations(self, payload: LogicalPlan) -> frozenset[str]:
+        """Everywhere the payload's content may legally be sent,
+        re-derived bottom-up from the policy set (see module docstring)."""
+        if isinstance(payload, LogicalScan):
+            permitted = frozenset([payload.location])
+        else:
+            permitted = self.policies.all_locations
+            for child in payload.children():
+                permitted = permitted & self.permitted_destinations(child)
+        return permitted | self._grant(payload)
+
+    def _grant(self, payload: LogicalPlan) -> frozenset[str]:
+        """Algorithm 1's verdict for the payload's subquery, or ∅ when
+        the subquery is outside its domain (multi-database or union)."""
+        if len(payload.source_databases) != 1:
+            return frozenset()
+        if any(isinstance(node, LogicalUnion) for node in payload.walk()):
+            return frozenset()
+        return self.evaluator.evaluate(describe_local_query(payload))
+
+    # -- auditing ---------------------------------------------------------------
+
+    def audit_events(self, events: Iterable[TraceEvent]) -> AuditReport:
+        report = AuditReport()
+        seen_queries: set[int] = set()
+        seen_scans: set[tuple[int, str, str, str]] = set()
+        for event in events:
+            report.events += 1
+            if event.query:
+                seen_queries.add(event.query)
+            if isinstance(event, RecoveryEvent) and not event.validated:
+                report.unvalidated_recoveries += 1
+            if not isinstance(event, ShipEvent):
+                continue
+            report.attempts += 1
+            self._audit_ship(event, report, seen_scans)
+        report.queries = len(seen_queries)
+        report.payloads = len(self._permitted_cache)
+        return report
+
+    def audit_file(self, path: str) -> AuditReport:
+        return self.audit_events(read_trace(path))
+
+    def _audit_ship(
+        self,
+        event: ShipEvent,
+        report: AuditReport,
+        seen_scans: set[tuple[int, str, str, str]],
+    ) -> None:
+        if event.payload is None:
+            report.violations.append(
+                ComplianceViolation(
+                    query=event.query,
+                    at=event.at,
+                    category="unauditable",
+                    source=event.source,
+                    target=event.target,
+                    permitted=(),
+                    message=(
+                        f"ship {event.source} -> {event.target} carries no "
+                        f"payload descriptor; compliance cannot be proven"
+                    ),
+                )
+            )
+            return
+        key = json.dumps(event.payload, sort_keys=True, separators=(",", ":"))
+        permitted = self._permitted_cache.get(key)
+        payload = decode_logical(event.payload)
+        self._audit_scan_sites(event, payload, report, seen_scans)
+        if permitted is None:
+            permitted = self.permitted_destinations(payload)
+            self._permitted_cache[key] = permitted
+        if event.source == event.target:
+            return
+        report.cross_border += 1
+        if event.target not in permitted:
+            report.violations.append(
+                ComplianceViolation(
+                    query=event.query,
+                    at=event.at,
+                    category="forbidden-destination",
+                    source=event.source,
+                    target=event.target,
+                    permitted=tuple(sorted(permitted)),
+                    message=(
+                        f"attempt {event.attempt} ({event.outcome}) tried to "
+                        f"ship {event.bytes} bytes of a payload permitted only "
+                        f"at {sorted(permitted)} from {event.source} to "
+                        f"{event.target}"
+                    ),
+                )
+            )
+
+    def _audit_scan_sites(
+        self,
+        event: ShipEvent,
+        payload: LogicalPlan,
+        report: AuditReport,
+        seen_scans: set[tuple[int, str, str, str]],
+    ) -> None:
+        """Flag payload scans claiming a site other than the stored
+        table's home (deduplicated per query and scan)."""
+        for node in payload.walk():
+            if not isinstance(node, LogicalScan):
+                continue
+            try:
+                stored = self.policies.catalog.stored_table(
+                    node.database, node.table
+                )
+            except Exception:
+                continue  # table unknown to this schema; nothing to check
+            if stored.location == node.location:
+                continue
+            dedup = (event.query, node.database, node.table, node.location)
+            if dedup in seen_scans:
+                continue
+            seen_scans.add(dedup)
+            report.violations.append(
+                ComplianceViolation(
+                    query=event.query,
+                    at=event.at,
+                    category="displaced-scan",
+                    source=stored.location,
+                    target=node.location,
+                    permitted=(stored.location,),
+                    message=(
+                        f"payload scans {node.database}.{node.table} at "
+                        f"{node.location!r} but the table lives at "
+                        f"{stored.location!r} — data was read across a "
+                        f"border without a SHIP"
+                    ),
+                )
+            )

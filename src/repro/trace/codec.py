@@ -1,0 +1,360 @@
+"""JSON codec for shipped payload descriptors.
+
+A SHIP's *payload descriptor* is the logical subquery the shipped data
+is the result of — exactly the object the compliance machinery reasons
+about (:func:`repro.optimizer.validator.to_logical` strips the physical
+details; SHIPs are transparent because they move data without changing
+it).  Embedding the descriptor in every ship event makes a trace
+self-contained: the auditor re-derives the payload's permitted
+destinations from the descriptor and the policy set alone, without the
+plan, the optimizer, or the run that produced the trace.
+
+Encoding is lossless for everything compliance depends on: the decoded
+tree compares *structurally equal* to the original (frozen dataclasses),
+so provenance (:class:`~repro.expr.BaseColumn`), predicates (needed for
+policy-condition implication), aggregate structure, and scan locations
+all survive the round trip.  Dates are carried as ISO strings and
+revived by declared type; enums by value; tuples as JSON arrays.
+
+Decoding raises :class:`~repro.errors.TraceFormatError` on any
+malformed descriptor — an auditor must fail loudly on a trace it cannot
+interpret, never skip it.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any
+
+from ..datatypes import DataType
+from ..errors import TraceFormatError
+from ..expr import (
+    AggregateCall,
+    AggregateFunction,
+    And,
+    Arithmetic,
+    ArithmeticOp,
+    BaseColumn,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
+    Or,
+)
+from ..plan import (
+    Field,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalUnion,
+)
+
+# -- expressions ---------------------------------------------------------------
+
+
+def encode_expression(expr: Expression) -> dict[str, Any]:
+    if isinstance(expr, Literal):
+        value = expr.value
+        if isinstance(value, (_dt.date, _dt.datetime)):
+            value = value.isoformat()
+        return {"e": "lit", "v": value, "t": expr.dtype.value}
+    if isinstance(expr, ColumnRef):
+        return {
+            "e": "col",
+            "name": expr.name,
+            "t": expr.dtype.value,
+            "base": _encode_base(expr.base),
+        }
+    if isinstance(expr, Comparison):
+        return {
+            "e": "cmp",
+            "op": expr.op.value,
+            "l": encode_expression(expr.left),
+            "r": encode_expression(expr.right),
+        }
+    if isinstance(expr, And):
+        return {"e": "and", "ops": [encode_expression(o) for o in expr.operands]}
+    if isinstance(expr, Or):
+        return {"e": "or", "ops": [encode_expression(o) for o in expr.operands]}
+    if isinstance(expr, Not):
+        return {"e": "not", "op": encode_expression(expr.operand)}
+    if isinstance(expr, Arithmetic):
+        return {
+            "e": "arith",
+            "op": expr.op.value,
+            "l": encode_expression(expr.left),
+            "r": encode_expression(expr.right),
+        }
+    if isinstance(expr, Negate):
+        return {"e": "neg", "op": encode_expression(expr.operand)}
+    if isinstance(expr, Like):
+        return {
+            "e": "like",
+            "op": encode_expression(expr.operand),
+            "pattern": expr.pattern,
+            "negated": expr.negated,
+        }
+    if isinstance(expr, InList):
+        return {
+            "e": "in",
+            "op": encode_expression(expr.operand),
+            "values": [encode_expression(v) for v in expr.values],
+            "negated": expr.negated,
+        }
+    if isinstance(expr, IsNull):
+        return {
+            "e": "isnull",
+            "op": encode_expression(expr.operand),
+            "negated": expr.negated,
+        }
+    if isinstance(expr, FunctionCall):
+        return {
+            "e": "func",
+            "name": expr.name,
+            "args": [encode_expression(a) for a in expr.args],
+        }
+    if isinstance(expr, AggregateCall):
+        return {
+            "e": "agg",
+            "func": expr.func.value,
+            "arg": None if expr.argument is None else encode_expression(expr.argument),
+        }
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def decode_expression(data: Any) -> Expression:
+    if not isinstance(data, dict):
+        raise TraceFormatError(f"expression descriptor must be an object, got {data!r}")
+    tag = data.get("e")
+    try:
+        if tag == "lit":
+            dtype = DataType(data["t"])
+            value = data["v"]
+            if dtype == DataType.DATE and isinstance(value, str):
+                value = _dt.date.fromisoformat(value)
+            return Literal(value, dtype)
+        if tag == "col":
+            return ColumnRef(
+                data["name"], DataType(data["t"]), _decode_base(data.get("base"))
+            )
+        if tag == "cmp":
+            return Comparison(
+                ComparisonOp(data["op"]),
+                decode_expression(data["l"]),
+                decode_expression(data["r"]),
+            )
+        if tag == "and":
+            return And(tuple(decode_expression(o) for o in data["ops"]))
+        if tag == "or":
+            return Or(tuple(decode_expression(o) for o in data["ops"]))
+        if tag == "not":
+            return Not(decode_expression(data["op"]))
+        if tag == "arith":
+            return Arithmetic(
+                ArithmeticOp(data["op"]),
+                decode_expression(data["l"]),
+                decode_expression(data["r"]),
+            )
+        if tag == "neg":
+            return Negate(decode_expression(data["op"]))
+        if tag == "like":
+            return Like(
+                decode_expression(data["op"]), data["pattern"], data["negated"]
+            )
+        if tag == "in":
+            values = tuple(decode_expression(v) for v in data["values"])
+            if not all(isinstance(v, Literal) for v in values):
+                raise TraceFormatError("IN-list values must be literals")
+            return InList(decode_expression(data["op"]), values, data["negated"])
+        if tag == "isnull":
+            return IsNull(decode_expression(data["op"]), data["negated"])
+        if tag == "func":
+            return FunctionCall(
+                data["name"], tuple(decode_expression(a) for a in data["args"])
+            )
+        if tag == "agg":
+            arg = data["arg"]
+            return AggregateCall(
+                AggregateFunction(data["func"]),
+                None if arg is None else decode_expression(arg),
+            )
+    except TraceFormatError:
+        raise
+    except (KeyError, ValueError, TypeError) as error:
+        raise TraceFormatError(
+            f"malformed {tag!r} expression descriptor: {error}"
+        ) from error
+    raise TraceFormatError(f"unknown expression tag {tag!r}")
+
+
+def _encode_base(base: BaseColumn | None) -> list[str] | None:
+    if base is None:
+        return None
+    return [base.database, base.table, base.column]
+
+
+def _decode_base(data: Any) -> BaseColumn | None:
+    if data is None:
+        return None
+    if not (isinstance(data, list) and len(data) == 3):
+        raise TraceFormatError(f"malformed provenance descriptor {data!r}")
+    return BaseColumn(*data)
+
+
+# -- fields --------------------------------------------------------------------
+
+
+def _encode_field(field: Field) -> dict[str, Any]:
+    return {
+        "name": field.name,
+        "t": field.dtype.value,
+        "base": _encode_base(field.base),
+        "width": field.width,
+    }
+
+
+def _decode_field(data: Any) -> Field:
+    try:
+        return Field(
+            data["name"],
+            DataType(data["t"]),
+            _decode_base(data.get("base")),
+            data["width"],
+        )
+    except TraceFormatError:
+        raise
+    except (KeyError, ValueError, TypeError) as error:
+        raise TraceFormatError(f"malformed field descriptor: {error}") from error
+
+
+# -- logical plans -------------------------------------------------------------
+
+
+def encode_logical(plan: LogicalPlan) -> dict[str, Any]:
+    if isinstance(plan, LogicalScan):
+        return {
+            "o": "scan",
+            "table": plan.table,
+            "database": plan.database,
+            "location": plan.location,
+            "alias": plan.alias,
+            "fields": [_encode_field(f) for f in plan.scan_fields],
+        }
+    if isinstance(plan, LogicalFilter):
+        return {
+            "o": "filter",
+            "child": encode_logical(plan.child),
+            "predicate": encode_expression(plan.predicate),
+        }
+    if isinstance(plan, LogicalProject):
+        return {
+            "o": "project",
+            "child": encode_logical(plan.child),
+            "exprs": [encode_expression(e) for e in plan.exprs],
+            "names": list(plan.names),
+        }
+    if isinstance(plan, LogicalJoin):
+        return {
+            "o": "join",
+            "left": encode_logical(plan.left),
+            "right": encode_logical(plan.right),
+            "condition": None
+            if plan.condition is None
+            else encode_expression(plan.condition),
+        }
+    if isinstance(plan, LogicalAggregate):
+        return {
+            "o": "aggregate",
+            "child": encode_logical(plan.child),
+            "keys": [encode_expression(k) for k in plan.group_keys],
+            "aggs": [encode_expression(a) for a in plan.aggregates],
+            "names": list(plan.agg_names),
+        }
+    if isinstance(plan, LogicalUnion):
+        return {"o": "union", "inputs": [encode_logical(i) for i in plan.inputs]}
+    if isinstance(plan, LogicalSort):
+        return {
+            "o": "sort",
+            "child": encode_logical(plan.child),
+            "keys": [[name, desc] for name, desc in plan.sort_keys],
+            "limit": plan.limit,
+        }
+    raise TypeError(f"unknown logical operator {type(plan).__name__}")
+
+
+def decode_logical(data: Any) -> LogicalPlan:
+    if not isinstance(data, dict):
+        raise TraceFormatError(f"payload descriptor must be an object, got {data!r}")
+    tag = data.get("o")
+    try:
+        if tag == "scan":
+            return LogicalScan(
+                table=data["table"],
+                database=data["database"],
+                location=data["location"],
+                alias=data["alias"],
+                scan_fields=tuple(_decode_field(f) for f in data["fields"]),
+            )
+        if tag == "filter":
+            return LogicalFilter(
+                decode_logical(data["child"]), decode_expression(data["predicate"])
+            )
+        if tag == "project":
+            return LogicalProject(
+                decode_logical(data["child"]),
+                tuple(decode_expression(e) for e in data["exprs"]),
+                tuple(data["names"]),
+            )
+        if tag == "join":
+            condition = data["condition"]
+            return LogicalJoin(
+                decode_logical(data["left"]),
+                decode_logical(data["right"]),
+                None if condition is None else decode_expression(condition),
+            )
+        if tag == "aggregate":
+            keys = tuple(decode_expression(k) for k in data["keys"])
+            aggs = tuple(decode_expression(a) for a in data["aggs"])
+            if not all(isinstance(k, ColumnRef) for k in keys):
+                raise TraceFormatError("group keys must be column references")
+            if not all(isinstance(a, AggregateCall) for a in aggs):
+                raise TraceFormatError("aggregates must be aggregate calls")
+            return LogicalAggregate(
+                decode_logical(data["child"]), keys, aggs, tuple(data["names"])
+            )
+        if tag == "union":
+            return LogicalUnion(tuple(decode_logical(i) for i in data["inputs"]))
+        if tag == "sort":
+            return LogicalSort(
+                decode_logical(data["child"]),
+                tuple((name, desc) for name, desc in data["keys"]),
+                data["limit"],
+            )
+    except TraceFormatError:
+        raise
+    except (KeyError, ValueError, TypeError) as error:
+        raise TraceFormatError(
+            f"malformed {tag!r} payload descriptor: {error}"
+        ) from error
+    raise TraceFormatError(f"unknown payload operator {tag!r}")
+
+
+def encode_payload(physical: Any) -> dict[str, Any]:
+    """Descriptor of the logical subquery a physical subtree computes —
+    what a SHIP above it would move.  (Imported lazily: the optimizer
+    package itself emits trace events, so a module-level import here
+    would be circular.)"""
+    from ..optimizer.validator import to_logical
+
+    return encode_logical(to_logical(physical))

@@ -1,0 +1,225 @@
+"""Typed trace events.
+
+Every event is a small dataclass with a class-level ``kind`` tag, a
+``query`` id (0 = outside any query bracket — e.g. shared optimizer
+work or server-level admission decisions), and an ``at`` instant on the
+*simulated* clock (sequential executions have no clock and stamp 0.0).
+Wall-clock readings never appear in events: traces must be byte-stable
+across runs, and only the simulated timeline is deterministic.
+
+``to_dict``/:func:`event_from_dict` round-trip events through plain
+JSON-compatible dicts; :func:`event_from_dict` raises a typed
+:class:`~repro.errors.TraceFormatError` for unknown kinds and missing
+or mistyped required fields, so a hand-edited or truncated trace fails
+the reader instead of silently skewing an audit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from ..errors import TraceFormatError
+
+#: Ship-attempt outcomes, as recorded by the emission sites.
+#: ``delivered`` is the only outcome that moves data; every other is a
+#: failed attempt (audited all the same — an attempt reveals where the
+#: executor *tried* to send the payload).
+SHIP_OUTCOMES = (
+    "delivered",  # transfer succeeded at the attempt instant
+    "transient",  # retriable blip; the scheduler backs off and retries
+    "retry_exhausted",  # transient failures exceeded the retry budget
+    "link_down",  # permanent link failure (no retry)
+    "circuit_open",  # per-link breaker fast-fail (no retry)
+    "site_down",  # an endpoint site crashed
+    "timeout",  # per-fragment input-delivery timeout tripped
+)
+
+
+@dataclass
+class TraceEvent:
+    """Base class; subclasses add their own fields after these two."""
+
+    kind: ClassVar[str] = ""
+    #: Rank used to order co-instant events of one query deterministically.
+    rank: ClassVar[int] = 5
+
+    query: int = 0
+    at: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        data = {"kind": type(self).kind}
+        data.update(dataclasses.asdict(self))
+        return data
+
+
+@dataclass
+class QueryStart(TraceEvent):
+    """Opens a query bracket (engine execution or server dispatch)."""
+
+    kind: ClassVar[str] = "query_start"
+    rank: ClassVar[int] = 0
+
+    label: str | None = None
+    executor: str | None = None
+    parallel: bool | None = None
+
+
+@dataclass
+class OptimizedEvent(TraceEvent):
+    """One optimizer run: the root's chosen traits and search effort."""
+
+    kind: ClassVar[str] = "optimized"
+    rank: ClassVar[int] = 1
+
+    operator: str = ""
+    result_location: str = ""
+    #: Sorted 𝒮 trait of the root group — everywhere the result may ship.
+    shipping_trait: list[str] = dataclasses.field(default_factory=list)
+    #: Sorted ℰ trait of the root group — everywhere the root may run.
+    execution_trait: list[str] = dataclasses.field(default_factory=list)
+    groups: int = 0
+    expressions: int = 0
+
+
+@dataclass
+class PlacementEvent(TraceEvent):
+    """Site selection for one physical operator (SHIPs excluded — their
+    placements are the ship events themselves)."""
+
+    kind: ClassVar[str] = "placement"
+    rank: ClassVar[int] = 2
+
+    operator: str = ""
+    location: str = ""
+    #: Sorted ℰ trait the operator was annotated with (None when the
+    #: plan carries no annotation, e.g. the traditional baseline).
+    execution_trait: list[str] | None = None
+
+
+@dataclass
+class RequestEvent(TraceEvent):
+    """A query-server admission/shedding decision for one request."""
+
+    kind: ClassVar[str] = "request"
+    rank: ClassVar[int] = 3
+
+    action: str = ""  # arrival | rejected | shed | served | served_late | partial
+    label: str = ""
+    detail: str | None = None
+
+
+@dataclass
+class ShipEvent(TraceEvent):
+    """One transfer *attempt* at a SHIP boundary."""
+
+    kind: ClassVar[str] = "ship"
+    rank: ClassVar[int] = 4
+
+    source: str = ""
+    target: str = ""
+    rows: int = 0
+    bytes: int = 0
+    attempt: int = 1
+    outcome: str = "delivered"
+    #: Simulated transfer seconds (delivered attempts only).
+    seconds: float | None = None
+    #: Producer/consumer fragment indices (None on sequential runs).
+    producer: int | None = None
+    consumer: int | None = None
+    columns: list[str] = dataclasses.field(default_factory=list)
+    #: Self-contained payload descriptor (see :mod:`repro.trace.codec`).
+    payload: dict[str, Any] | None = None
+
+
+@dataclass
+class RecoveryEvent(TraceEvent):
+    """A failover re-placement of one fragment."""
+
+    kind: ClassVar[str] = "recovery"
+    rank: ClassVar[int] = 5
+
+    fragment: int = 0
+    source: str = ""
+    target: str = ""
+    reason: str = ""
+    #: Whether the new placement passed the recovery compliance check
+    #: (False only when the scheduler runs without a compliance guard).
+    validated: bool = False
+
+
+@dataclass
+class QueryEnd(TraceEvent):
+    """Closes a query bracket."""
+
+    kind: ClassVar[str] = "query_end"
+    rank: ClassVar[int] = 9
+
+    status: str = "ok"  # ok | partial | shed | error
+    rows: int | None = None
+    makespan: float | None = None
+
+
+EVENT_TYPES: dict[str, type[TraceEvent]] = {
+    cls.kind: cls
+    for cls in (
+        QueryStart,
+        OptimizedEvent,
+        PlacementEvent,
+        RequestEvent,
+        ShipEvent,
+        RecoveryEvent,
+        QueryEnd,
+    )
+}
+
+#: Fields every event must carry in serialized form.
+_BASE_REQUIRED = ("query", "at")
+
+#: Per-kind additional required fields (the rest default sensibly).
+_REQUIRED: dict[str, tuple[str, ...]] = {
+    "query_start": (),
+    "optimized": ("result_location",),
+    "placement": ("operator", "location"),
+    "request": ("action", "label"),
+    "ship": ("source", "target", "bytes", "attempt", "outcome"),
+    "recovery": ("fragment", "source", "target"),
+    "query_end": ("status",),
+}
+
+
+def event_from_dict(data: Any) -> TraceEvent:
+    """Revive one event; raises :class:`TraceFormatError` when it does
+    not describe a well-formed event of a known kind."""
+    if not isinstance(data, dict):
+        raise TraceFormatError(f"trace event must be an object, got {type(data).__name__}")
+    kind = data.get("kind")
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise TraceFormatError(f"unknown trace event kind {kind!r}")
+    missing = [
+        name
+        for name in (*_BASE_REQUIRED, *_REQUIRED[kind])
+        if name not in data
+    ]
+    if missing:
+        raise TraceFormatError(
+            f"{kind} event is missing required field(s): {', '.join(missing)}"
+        )
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - names - {"kind"})
+    if unknown:
+        raise TraceFormatError(
+            f"{kind} event has unknown field(s): {', '.join(unknown)}"
+        )
+    kwargs = {k: v for k, v in data.items() if k in names}
+    try:
+        event = cls(**kwargs)
+    except TypeError as error:  # pragma: no cover - defensive
+        raise TraceFormatError(f"malformed {kind} event: {error}") from error
+    if not isinstance(event.query, int) or not isinstance(event.at, (int, float)):
+        raise TraceFormatError(f"{kind} event has mistyped query/at fields")
+    if isinstance(event, ShipEvent) and event.outcome not in SHIP_OUTCOMES:
+        raise TraceFormatError(f"unknown ship outcome {event.outcome!r}")
+    return event

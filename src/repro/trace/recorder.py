@@ -1,0 +1,263 @@
+"""Context-scoped trace recording.
+
+The recorder is installed with :func:`tracing` and discovered by the
+emission sites (optimizer, executors, scheduler, server) through
+:func:`current_recorder` — a single :class:`~contextvars.ContextVar`
+read.  When no recorder is installed every site's hook is one
+``None``-check; no event object is ever built, which is what keeps the
+disabled path effectively free (the overhead benchmark pins this down).
+
+Worker threads of the fragment scheduler do **not** inherit the context
+variable, and by design never need to: fragment bodies resolve cut SHIP
+leaves from already-computed results without emitting, so all emission
+happens on the single coordinator/caller thread and the recorder needs
+no locking.
+
+Determinism
+-----------
+``wait(..., FIRST_COMPLETED)`` makes the *emission* order of events
+from independent fragments nondeterministic across runs.  Events are
+therefore ordered at serialization time by a deterministic key —
+``(query, at, kind-rank, emission-ordinal, canonical JSON)`` — where
+the emission ordinal participates only for events emitted from
+deterministic single-threaded code paths (sequential executors, the
+optimizer, the server loop); scheduler-side events opt out
+(``stable=False``) and fall back to their simulated instants with the
+canonical JSON line as the final tiebreak.  Together with the
+simulated-clock-only timestamps this makes a trace byte-identical
+across runs of the same query, seed, and executor.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import TraceFormatError
+from ..plan import PhysicalPlan, Ship
+from .codec import encode_payload
+from .events import (
+    OptimizedEvent,
+    PlacementEvent,
+    QueryEnd,
+    QueryStart,
+    RequestEvent,
+    ShipEvent,
+    TraceEvent,
+    event_from_dict,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..optimizer.compliant import OptimizationResult
+
+#: Emission-ordinal stand-in for events whose emission order is not
+#: deterministic (scheduler coordinator): larger than any real ordinal,
+#: so ties fall through to the canonical-JSON key.
+_UNORDERED = 1 << 60
+
+_ACTIVE: ContextVar["TraceRecorder | None"] = ContextVar(
+    "repro_trace_recorder", default=None
+)
+
+
+def current_recorder() -> "TraceRecorder | None":
+    """The recorder installed on this thread's context, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def tracing(recorder: "TraceRecorder") -> Iterator["TraceRecorder"]:
+    """Install ``recorder`` for the duration of the block."""
+    token = _ACTIVE.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _ACTIVE.reset(token)
+
+
+class TraceRecorder:
+    """Collects typed events from one or more traced executions."""
+
+    def __init__(self) -> None:
+        #: (event, emission ordinal or _UNORDERED)
+        self._entries: list[tuple[TraceEvent, int]] = []
+        self._next_query = 1
+        self._stack: list[int] = []
+
+    # -- emission ---------------------------------------------------------------
+
+    @property
+    def current_query(self) -> int:
+        """Query id of the open bracket (0 outside any bracket)."""
+        return self._stack[-1] if self._stack else 0
+
+    def emit(self, event: TraceEvent, stable: bool = True) -> None:
+        """Record ``event``; fills in the current query id.  ``stable``
+        marks the emission order itself as deterministic (single-threaded
+        code path) and usable as an ordering key."""
+        if not event.query:
+            event.query = self.current_query
+        self._entries.append((event, len(self._entries) if stable else _UNORDERED))
+
+    def begin_query(
+        self,
+        label: str | None = None,
+        at: float = 0.0,
+        executor: str | None = None,
+        parallel: bool | None = None,
+    ) -> int:
+        """Open a query bracket; subsequent events belong to it."""
+        query = self._next_query
+        self._next_query += 1
+        self._stack.append(query)
+        self.emit(
+            QueryStart(
+                query=query, at=at, label=label, executor=executor, parallel=parallel
+            )
+        )
+        return query
+
+    def end_query(
+        self,
+        query: int,
+        at: float,
+        status: str = "ok",
+        rows: int | None = None,
+        makespan: float | None = None,
+    ) -> None:
+        self.emit(
+            QueryEnd(query=query, at=at, status=status, rows=rows, makespan=makespan)
+        )
+        if query in self._stack:
+            self._stack.remove(query)
+
+    # -- emission helpers (one per instrumented site) ---------------------------
+
+    def record_optimization(self, result: "OptimizationResult") -> None:
+        """Optimizer decisions: the root's chosen ℰ/𝒮 traits plus one
+        placement event per located (non-SHIP) physical operator."""
+        root = result.annotate.root
+        self.emit(
+            OptimizedEvent(
+                operator=result.plan.describe(),
+                result_location=result.plan.location,
+                shipping_trait=sorted(root.shipping_trait),
+                execution_trait=sorted(root.execution_trait),
+                groups=result.annotate.group_count,
+                expressions=result.annotate.expression_count,
+            )
+        )
+        self.record_placements(result.plan)
+
+    def record_placements(self, plan: PhysicalPlan) -> None:
+        for node in plan.walk():
+            if isinstance(node, Ship):
+                continue
+            trait = node.execution_trait
+            self.emit(
+                PlacementEvent(
+                    operator=node.describe(),
+                    location=node.location,
+                    execution_trait=None if trait is None else sorted(trait),
+                )
+            )
+
+    def record_local_ship(
+        self,
+        node: Ship,
+        rows: int,
+        nbytes: int,
+        columns: list[str],
+        seconds: float,
+    ) -> None:
+        """A sequential-executor SHIP: exactly one attempt, delivered,
+        no simulated clock (``at`` stays 0.0)."""
+        assert node.child is not None
+        self.emit(
+            ShipEvent(
+                source=node.source,
+                target=node.target,
+                rows=rows,
+                bytes=nbytes,
+                attempt=1,
+                outcome="delivered",
+                seconds=seconds,
+                columns=list(columns),
+                payload=encode_payload(node.child),
+            )
+        )
+
+    def record_request(
+        self, action: str, label: str, at: float, detail: str | None = None
+    ) -> None:
+        self.emit(RequestEvent(at=at, action=action, label=label, detail=detail))
+
+    # -- access and serialization -----------------------------------------------
+
+    def events(self) -> list[TraceEvent]:
+        """All recorded events in the canonical deterministic order."""
+        return [event for event, _ in self._sorted()]
+
+    def _sorted(self) -> list[tuple[TraceEvent, str]]:
+        keyed = [
+            (event, ordinal, _canonical_line(event))
+            for event, ordinal in self._entries
+        ]
+        keyed.sort(key=lambda e: (e[0].query, e[0].at, type(e[0]).rank, e[1], e[2]))
+        return [(event, line) for event, _, line in keyed]
+
+    def to_jsonl(self) -> str:
+        """Serialize to JSON Lines, one event per line, in canonical
+        order with canonical formatting (sorted keys, no whitespace) —
+        the byte-stable on-disk form."""
+        return "".join(line + "\n" for _, line in self._sorted())
+
+    def write(self, path: str) -> int:
+        """Write the JSONL trace to ``path``; returns the event count."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _canonical_line(event: TraceEvent) -> str:
+    return json.dumps(
+        event.to_dict(), sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+
+
+# -- reading -------------------------------------------------------------------
+
+
+def parse_trace(text: str) -> list[TraceEvent]:
+    """Parse JSONL trace text into typed events; raises
+    :class:`~repro.errors.TraceFormatError` (with the 1-based line
+    number) on any malformed line."""
+    events: list[TraceEvent] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TraceFormatError(f"not valid JSON: {error}", line=number) from error
+        try:
+            events.append(event_from_dict(data))
+        except TraceFormatError as error:
+            raise TraceFormatError(str(error), line=number) from error
+    return events
+
+
+def read_trace(path: str) -> list[TraceEvent]:
+    """Load a JSONL trace file written by :meth:`TraceRecorder.write`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise TraceFormatError(f"cannot read trace file {path!r}: {error}") from error
+    return parse_trace(text)

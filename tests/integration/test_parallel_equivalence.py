@@ -25,6 +25,7 @@ from repro.optimizer import CompliantOptimizer, TraditionalOptimizer, normalize
 from repro.optimizer.compliant import _strip_sort
 from repro.sql import Binder
 from repro.tpch import AdHocQueryGenerator, QUERIES, curated_policies
+from repro.trace import TraceRecorder, tracing
 
 from ..conftest import rows_as_multiset
 
@@ -66,6 +67,23 @@ def assert_makespan_invariants(plan, metrics):
     return pairs
 
 
+def traced_execute(engine, plan):
+    """Run ``plan`` under a fresh trace recorder; return the result and
+    the trace-derived SHIP summary ``(transfer_count, total_bytes)`` over
+    delivered cross-border attempts."""
+    recorder = TraceRecorder()
+    with tracing(recorder):
+        result = engine.execute(plan)
+    delivered = [
+        event
+        for event in recorder.events()
+        if event.kind == "ship"
+        and event.outcome == "delivered"
+        and event.source != event.target
+    ]
+    return result, (len(delivered), sum(event.bytes for event in delivered))
+
+
 def check_equivalence(
     catalog, optimizer, sequential, parallel, sql, batch_engines=()
 ):
@@ -74,19 +92,22 @@ def check_equivalence(
         sequential.execute(reference_plan(normalize(core))).rows
     )
     plan = optimizer.optimize(core).plan
-    seq_run = sequential.execute(plan)
-    par_run = parallel.execute(plan)
+    seq_run, seq_ships = traced_execute(sequential, plan)
+    par_run, par_ships = traced_execute(parallel, plan)
     assert rows_as_multiset(seq_run.rows) == expected
     assert rows_as_multiset(par_run.rows) == expected
     assert par_run.columns == seq_run.columns
     assert par_run.metrics.total_bytes_shipped == seq_run.metrics.total_bytes_shipped
     assert par_run.metrics.operators_executed == seq_run.metrics.operators_executed
+    # Trace-derived transfer accounting: the sequential walker and the
+    # fragment scheduler must record the same cross-border SHIP set.
+    assert par_ships == seq_ships
     for batch_engine in batch_engines:
         # The batch executor preserves the row backend's exact iteration
         # orders, so its output must be *row-identical* (ordered), not
         # just multiset-equal — and its SHIP byte accounting, computed
         # from columns, must bill the same bytes.
-        batch_run = batch_engine.execute(plan)
+        batch_run, batch_ships = traced_execute(batch_engine, plan)
         assert batch_run.columns == seq_run.columns
         assert batch_run.rows == seq_run.rows
         assert (
@@ -97,6 +118,9 @@ def check_equivalence(
             batch_run.metrics.operators_executed
             == seq_run.metrics.operators_executed
         )
+        # Per-query trace agreement between the row and batch backends:
+        # identical transfer counts and identical total SHIP bytes.
+        assert batch_ships == seq_ships
     pairs = assert_makespan_invariants(plan, par_run.metrics)
     return par_run, pairs
 

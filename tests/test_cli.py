@@ -113,3 +113,85 @@ def test_serve_invalid_knob_exit_code(tmp_path, capsys):
     workload.write_text('["Q3"]')
     assert main(["serve", str(workload), "--concurrency", "0"]) == 1
     assert "positive integer" in capsys.readouterr().err
+
+
+def test_run_writes_trace_and_audit_accepts_it(tmp_path, capsys):
+    trace = tmp_path / "q3.jsonl"
+    assert main(
+        ["run", "Q3", "--scale", "0.001", "--parallel", "--trace", str(trace)]
+    ) == 0
+    captured = capsys.readouterr()
+    assert f"-> {trace}" in captured.err
+    assert trace.exists()
+    assert main(["audit", str(trace), "--set", "CR"]) == 0
+    assert "audit: COMPLIANT" in capsys.readouterr().out
+
+
+def test_audit_flags_mutated_trace_with_exit_4(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "q3.jsonl"
+    assert main(
+        ["run", "Q3", "--scale", "0.001", "--parallel", "--trace", str(trace)]
+    ) == 0
+    capsys.readouterr()
+    mutated = []
+    for line in trace.read_text().splitlines():
+        entry = json.loads(line)
+        if entry.get("kind") == "ship":
+            entry["target"] = "Atlantis"  # off-catalog: never permitted
+        mutated.append(json.dumps(entry))
+    trace.write_text("\n".join(mutated) + "\n")
+    assert main(["audit", str(trace)]) == 4
+    out = capsys.readouterr().out
+    assert "NON-COMPLIANT" in out
+    assert "VIOLATION" in out
+    assert "forbidden-destination" in out
+
+
+def test_audit_malformed_trace_exit_code(tmp_path, capsys):
+    trace = tmp_path / "broken.jsonl"
+    trace.write_text('{"kind": "ship"\n')
+    assert main(["audit", str(trace)]) == 1
+    err = capsys.readouterr().err
+    assert "error:" in err and "line 1" in err
+
+
+def test_audit_with_policy_file(tmp_path, capsys):
+    trace = tmp_path / "q3.jsonl"
+    assert main(
+        ["run", "Q3", "--scale", "0.001", "--parallel", "--trace", str(trace)]
+    ) == 0
+    capsys.readouterr()
+    # A policy file granting nothing: every cross-border ship violates.
+    policies = tmp_path / "strict.policies"
+    policies.write_text("# deny-all: no ship expressions\n")
+    assert main(["audit", str(trace), "--policies", str(policies)]) == 4
+    capsys.readouterr()
+    # The curated CR set, exported and re-imported, audits clean.
+    assert main(["policies", "--set", "CR"]) == 0
+    exported = capsys.readouterr().out
+    allow = tmp_path / "cr.policies"
+    allow.write_text(exported)
+    assert main(["audit", str(trace), "--policies", str(allow)]) == 0
+    assert "COMPLIANT" in capsys.readouterr().out
+
+
+def test_audit_policies_flag_requires_trace_file(tmp_path, capsys):
+    policies = tmp_path / "p.policies"
+    policies.write_text("")
+    assert main(["audit", "Q3", "--policies", str(policies)]) == 1
+    assert "--policies requires a trace file" in capsys.readouterr().err
+
+
+def test_serve_trace_flag_records_workload(tmp_path, capsys):
+    workload = tmp_path / "workload.json"
+    workload.write_text('[{"query": "Q3", "arrival": 0.0}]')
+    trace = tmp_path / "serve.jsonl"
+    assert main(
+        ["serve", str(workload), "--scale", "0.001", "--trace", str(trace)]
+    ) == 0
+    capsys.readouterr()
+    assert trace.exists()
+    assert main(["audit", str(trace)]) == 0
+    assert "audit: COMPLIANT" in capsys.readouterr().out
