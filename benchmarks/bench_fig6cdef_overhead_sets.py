@@ -38,7 +38,7 @@ def test_fig6cdef_overhead(catalog, network, report, benchmark, set_name):
     from repro.optimizer import CompliantOptimizer
 
     probe = CompliantOptimizer(catalog, policies, network)
-    probe.evaluator.stats.reset()
+    probe.evaluator.reset_stats()
     for name in QUERIES:
         probe.optimize(QUERIES[name])
     stats = probe.evaluator.stats

@@ -405,7 +405,7 @@ def scalability_expressions(
         # η: how often an expression is applied (Algorithm 1 reaching line
         # 4) during one optimization.
         probe = CompliantOptimizer(catalog, policies, network)
-        probe.evaluator.stats.reset()
+        probe.evaluator.reset_stats()
         probe.optimize(sql)
         points.append((count, timing, probe.evaluator.stats.eta))
     return ExpressionScalability(query_name, points)

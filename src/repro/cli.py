@@ -172,6 +172,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record optimizer decisions and every SHIP attempt as "
         "deterministic JSONL to FILE (audit it with 'repro audit FILE')",
     )
+    run.add_argument(
+        "--plan-cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="cache optimized plans keyed by (query shape, parameter "
+        "signature, policy version); repeated templates skip both "
+        "optimizer phases (default: on; --no-plan-cache disables)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -284,6 +292,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record admission decisions and every SHIP attempt of the "
         "whole workload as deterministic JSONL to FILE",
     )
+    serve.add_argument(
+        "--plan-cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve repeated query templates from the compliant plan "
+        "cache, skipping the optimizer on hot hits (default: on; "
+        "--no-plan-cache falls back to per-SQL-text memoization)",
+    )
 
     audit = sub.add_parser(
         "audit",
@@ -354,7 +370,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     catalog, database = build_benchmark(scale=args.scale, stats_scale=1.0)
     network = default_network()
     policy_catalog = curated_policies(catalog, args.policy_set)
-    optimizer = CompliantOptimizer(catalog, policy_catalog, network)
+    optimizer = CompliantOptimizer(
+        catalog, policy_catalog, network, plan_cache=args.plan_cache
+    )
     recorder = TraceRecorder() if args.trace is not None else None
     with tracing(recorder) if recorder is not None else nullcontext():
         result = optimizer.optimize(_resolve_sql(args.query))
@@ -386,7 +404,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             retry_policy=retry_policy,
             executor=args.executor,
         )
-        output = engine.execute(result.plan)
+        # Pass the whole OptimizationResult: a store-time-validated plan
+        # skips the engine's redundant guard re-check.
+        output = engine.execute(result)
     if recorder is not None:
         events = recorder.write(args.trace)
         print(f"trace: {events} events -> {args.trace}", file=sys.stderr)
@@ -441,7 +461,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     catalog, database = build_benchmark(scale=args.scale, stats_scale=1.0)
     network = default_network()
     policy_catalog = curated_policies(catalog, args.policy_set)
-    optimizer = CompliantOptimizer(catalog, policy_catalog, network)
+    optimizer = CompliantOptimizer(
+        catalog, policy_catalog, network, plan_cache=args.plan_cache
+    )
     faults = (
         parse_fault_spec(args.faults, locations=catalog.locations)
         if args.faults is not None
@@ -486,6 +508,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for outcome in result.outcomes:
         print(outcome.describe())
     print(f"\n{result.metrics.summary()}", file=sys.stderr)
+    if optimizer.plan_cache is not None:
+        print(
+            f"plan cache: {optimizer.plan_cache.stats.summary()}",
+            file=sys.stderr,
+        )
     if faults is not None:
         print(f"injected faults: {faults}", file=sys.stderr)
     if breakers is not None and result.metrics.breaker_states:

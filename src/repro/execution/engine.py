@@ -115,14 +115,29 @@ class ExecutionEngine:
             )
 
     def execute(
-        self, plan: PhysicalPlan, parallel: bool | None = None
+        self, plan: "PhysicalPlan | Any", parallel: bool | None = None
     ) -> ExecutionResult:
         """Run ``plan``; raises :class:`ComplianceViolationError` when a
         policy guard is installed and the plan is non-compliant.
 
+        ``plan`` may also be an
+        :class:`~repro.optimizer.compliant.OptimizationResult`: when the
+        optimizer (plan cache) already validated the plan *with this
+        engine's own guard evaluator*, the per-run guard re-check is
+        skipped — that is what makes a warm cache hit skip compliance
+        machinery end to end without weakening the guard for any other
+        plan source.
+
         ``parallel`` overrides the engine-level default for one call.
         """
-        if self.policy_guard is not None:
+        pre_validated = False
+        if not isinstance(plan, PhysicalPlan):
+            pre_validated = (
+                getattr(plan, "compliance_validated", False)
+                and getattr(plan, "validated_by", None) is self.policy_guard
+            )
+            plan = plan.plan
+        if self.policy_guard is not None and not pre_validated:
             from ..optimizer.validator import check_compliance
 
             violations = check_compliance(plan, self.policy_guard)

@@ -12,6 +12,13 @@ from .annotator import (
     TraitEntry,
     default_rules,
 )
+from .plancache import (
+    CacheEntry,
+    PlanCache,
+    PlanCacheStats,
+    PreparedQuery,
+    prepare_query,
+)
 from .site_selector import SiteSelection, SiteSelector
 from .validator import (
     Violation,
@@ -43,6 +50,11 @@ __all__ = [
     "PlanAnnotator",
     "TraitEntry",
     "default_rules",
+    "CacheEntry",
+    "PlanCache",
+    "PlanCacheStats",
+    "PreparedQuery",
+    "prepare_query",
     "SiteSelection",
     "SiteSelector",
     "Violation",

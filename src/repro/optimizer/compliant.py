@@ -10,6 +10,7 @@ plan exists in the explored space.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from ..catalog import Catalog
@@ -22,6 +23,7 @@ from ..trace import current_recorder
 from .annotator import AnnotateResult, PlanAnnotator, default_rules
 from .cost import CostModel
 from .normalize import normalize
+from .plancache import PlanCache
 from .site_selector import SiteSelection, SiteSelector
 from .validator import check_compliance
 
@@ -37,6 +39,16 @@ class OptimizationResult:
     phase1_seconds: float
     phase2_seconds: float
     rejected: bool = False
+    #: True when the plan was served from the plan cache (both optimizer
+    #: phases skipped; ``normalized``/``annotate``/``selection`` are the
+    #: cached template's, ``plan`` is the rebound copy).
+    cache_hit: bool = False
+    #: True when the plan (or the template it was rebound from) already
+    #: passed the independent compliance validator.
+    compliance_validated: bool = False
+    #: The evaluator that validated it — executors only skip their own
+    #: guard when it is the *same* evaluator they would check with.
+    validated_by: PolicyEvaluator | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -59,6 +71,7 @@ class CompliantOptimizer:
         allow_cross_products: bool = False,
         max_expressions: int = 50_000,
         site_objective: str = "total",
+        plan_cache: PlanCache | bool = False,
     ) -> None:
         self.catalog = catalog
         self.policies = policies
@@ -74,6 +87,19 @@ class CompliantOptimizer:
             max_expressions=max_expressions,
         )
         self._site_selector = SiteSelector(self.network, objective=site_objective)
+        #: Optional compliant plan cache (see :mod:`.plancache`).  Off by
+        #: default so optimization-time benchmarks measure the real
+        #: optimizer; ``True`` builds one validated by this optimizer's
+        #: evaluator, or pass a pre-built :class:`PlanCache` to share.
+        if plan_cache is True:
+            self.plan_cache: PlanCache | None = PlanCache(
+                policies, evaluator=self.evaluator
+            )
+        elif isinstance(plan_cache, PlanCache):
+            # NB: not `elif plan_cache:` — an *empty* cache is falsy.
+            self.plan_cache = plan_cache
+        else:
+            self.plan_cache = None
 
     def optimize(
         self,
@@ -87,30 +113,75 @@ class CompliantOptimizer:
         paper's architecture.
         """
         plan = self.binder.bind_sql(query) if isinstance(query, str) else query
+
+        prepared = None
+        if self.plan_cache is not None:
+            start = time.perf_counter()
+            prepared = self.plan_cache.prepare(plan)
+            entry = self.plan_cache.lookup(prepared, result_location)
+            if entry is not None:
+                physical = self.plan_cache.rebind(entry, prepared)
+                result = OptimizationResult(
+                    plan=physical,
+                    normalized=entry.normalized,
+                    annotate=entry.annotate,
+                    selection=entry.selection,
+                    phase1_seconds=time.perf_counter() - start,
+                    phase2_seconds=0.0,
+                    cache_hit=True,
+                    compliance_validated=entry.validated,
+                    validated_by=self.evaluator if entry.validated else None,
+                )
+                recorder = current_recorder()
+                if recorder is not None:
+                    recorder.record_optimization(result)
+                return result
+
         core, sort = _strip_sort(plan)
-
-        start = time.perf_counter()
-        core = normalize(core)
-        annotated = self._annotator.annotate(
-            core, result_location=result_location, pre_normalized=True
+        dependencies: set[int] = set()
+        collect = (
+            self.evaluator.collecting_dependencies(dependencies)
+            if self.plan_cache is not None
+            else nullcontext()
         )
-        phase1 = time.perf_counter() - start
-
-        start = time.perf_counter()
-        selection = self._site_selector.select(
-            annotated.root, result_location=result_location
-        )
-        physical = selection.plan
-        if sort is not None:
-            physical = Sort(
-                fields=physical.fields,
-                location=physical.location,
-                estimated_rows=physical.estimated_rows,
-                child=physical,
-                sort_keys=sort.sort_keys,
-                limit=sort.limit,
+        with collect:
+            start = time.perf_counter()
+            core = normalize(core)
+            annotated = self._annotator.annotate(
+                core, result_location=result_location, pre_normalized=True
             )
-        phase2 = time.perf_counter() - start
+            phase1 = time.perf_counter() - start
+
+            start = time.perf_counter()
+            selection = self._site_selector.select(
+                annotated.root, result_location=result_location
+            )
+            physical = selection.plan
+            if sort is not None:
+                physical = Sort(
+                    fields=physical.fields,
+                    location=physical.location,
+                    estimated_rows=physical.estimated_rows,
+                    child=physical,
+                    sort_keys=sort.sort_keys,
+                    limit=sort.limit,
+                )
+            phase2 = time.perf_counter() - start
+
+            entry = None
+            if self.plan_cache is not None and prepared is not None:
+                # Store-time validation also runs inside the dependency
+                # scope, so the validator's own policy reads land in the
+                # entry's read set.
+                entry = self.plan_cache.store(
+                    prepared,
+                    result_location,
+                    plan=physical,
+                    normalized=core,
+                    annotate=annotated,
+                    selection=selection,
+                    dependencies=dependencies,
+                )
 
         result = OptimizationResult(
             plan=physical,
@@ -119,6 +190,10 @@ class CompliantOptimizer:
             selection=selection,
             phase1_seconds=phase1,
             phase2_seconds=phase2,
+            compliance_validated=entry.validated if entry is not None else False,
+            validated_by=(
+                self.evaluator if entry is not None and entry.validated else None
+            ),
         )
         recorder = current_recorder()
         if recorder is not None:

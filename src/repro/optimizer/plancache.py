@@ -1,0 +1,575 @@
+"""Compliant plan cache with prepared-query parameterization.
+
+Repeated workloads are dominated by *query templates*: the same shape
+re-submitted with different constants.  The plan cache lets the second
+and later submissions of a template skip both optimizer phases (Volcano
+annotation and compliant site selection) entirely:
+
+1. :func:`prepare_query` normalizes the *free* constants out of the
+   bound logical plan, producing a hashable **shape** (the plan with
+   each free literal replaced by a typed ``$p<i>`` marker), a
+   **parameter signature** (the marker dtypes, in order), and the
+   concrete **bindings**;
+2. the cache is keyed by ``(shape, signature, result_location)`` and
+   stores the fully annotated + located physical plan of the first
+   submission together with its bindings;
+3. a hit deep-rebuilds the cached physical plan with the new bindings
+   substituted for the old (:meth:`PlanCache.rebind`) — prepared-
+   statement semantics: the cached plan was *optimized* for the first
+   binding and is *reused* (compliant, possibly not cost-optimal) for
+   later ones.
+
+Soundness of parameterization
+-----------------------------
+Compliance derivations (trait annotation — AR4 — and the independent
+validator) depend on query predicates only through the implication test
+``P_q ⇒ P_e`` of :mod:`repro.expr.implication`.  A constant is
+classified **free** (parameterizable) only when changing its value can
+provably not change any implication verdict nor the plan's compliance:
+
+* it is the literal side of a *simple atom* — ``Comparison(col, lit)``
+  (either orientation, at any And/Or/Not depth) or an ``InList(col,
+  ...)`` value — whose column carries base-table provenance;
+* the column's key is **not mentioned** by the predicate of any policy
+  expression registered for any table the plan scans (so no consulted
+  policy predicate constrains that key; atoms on keys absent from the
+  policy side never influence entailment);
+* the key has **exactly one** predicate use in the whole plan (so the
+  atom can join no same-key interaction — range intersection,
+  not-equal/exact-value conflicts, or conjunct unsatisfiability — whose
+  outcome is value-dependent; a single range/in-set/not-equal atom is
+  satisfiable for every value);
+* its ``(dtype, value)`` pair is **globally unique** among the plan's
+  literals (so rebinding-by-value is injective).
+
+Everything else — literals inside opaque atoms (arithmetic, function
+calls, column-column comparisons, bare booleans), literals on
+policy-relevant or multiply-constrained keys, provenance-free columns
+(e.g. UNION outputs and ``$agg`` HAVING references, whose keys could
+alias policy columns after pushdown), and projection/aggregate-argument
+constants (which normalization may substitute into predicates) — is
+*pinned*: it stays inline in the shape, so queries differing in such a
+constant simply occupy distinct cache entries.  Pinning is always
+sound; freeing is the proven-safe optimization.
+
+Hot reload and invalidation
+---------------------------
+Every entry records the policy-catalog :attr:`~repro.policy.catalog.
+PolicyCatalog.version` it was derived at plus its *dependency set*: the
+pids of every policy expression the derivation scanned (collected via
+:meth:`~repro.policy.evaluator.PolicyEvaluator.collecting_dependencies`
+around annotation, site selection, and store-time validation).  A
+lookup revalidates the entry against the catalog's change log:
+
+* **removals/replacements** of a policy in the dependency set
+  invalidate the entry (its permitted-location derivation read a policy
+  that no longer holds);
+* changes to policies the derivation never read leave the entry intact
+  (*precision* — a reload does not flush unrelated templates);
+* **additions** never invalidate: Algorithm 1 unions grants over
+  expressions, so new policies only widen permitted-location sets — a
+  cached plan stays compliant (it may stop being cost-optimal until it
+  ages out).
+
+Rejections (:class:`~repro.errors.NonCompliantQueryError`) are not
+cached: a rejected template pays full optimization on every submission.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Hashable
+
+from ..datatypes import DataType
+from ..expr import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    walk,
+)
+from ..expr.predicates import column_key
+from ..plan import (
+    Filter,
+    HashAggregate,
+    HashJoin,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    NestedLoopJoin,
+    PhysicalPlan,
+    Project,
+    Ship,
+    Sort,
+    TableScan,
+    UnionAll,
+)
+from ..policy import PolicyCatalog, PolicyEvaluator
+
+
+@dataclass(frozen=True)
+class _Param:
+    """Marker value standing in for the ``index``-th free constant."""
+
+    index: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"$p{self.index}"
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """One parameterized query: shape + signature + concrete bindings."""
+
+    shape: LogicalPlan
+    signature: tuple[DataType, ...]
+    bindings: tuple[Literal, ...]
+
+    def key(self, result_location: str | None) -> Hashable:
+        return (self.shape, self.signature, result_location)
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss/invalidation counters of one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Entries dropped at lookup because a policy in their dependency
+    #: set was removed or replaced after they were derived.
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "PlanCacheStats":
+        return dc_replace(self)
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate), {self.stores} stores, "
+            f"{self.invalidations} invalidations, {self.evictions} evictions"
+        )
+
+
+@dataclass
+class CacheEntry:
+    """One cached template: the located physical plan plus everything
+    needed to rebind, revalidate, and re-emit trace events."""
+
+    plan: PhysicalPlan
+    bindings: tuple[Literal, ...]
+    normalized: LogicalPlan
+    annotate: object  # AnnotateResult (typed loosely to avoid a cycle)
+    selection: object  # SiteSelection
+    #: Pids of every policy expression the derivation scanned.
+    dependencies: frozenset[int]
+    #: Catalog version the entry is known valid at (refreshed on every
+    #: successful revalidation, keeping changed_since windows short).
+    version: int
+    #: Whether the stored template passed the independent compliance
+    #: validator at insert time.  Free constants cannot change
+    #: compliance (see module docstring), so the verdict transfers to
+    #: every rebinding — executors may skip their per-run guard.
+    validated: bool = False
+
+
+class PlanCache:
+    """LRU cache of optimized plans keyed by (shape, signature,
+    result location), with versioned policy hot-reload invalidation."""
+
+    def __init__(
+        self,
+        policies: PolicyCatalog,
+        evaluator: PolicyEvaluator | None = None,
+        capacity: int = 256,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.policies = policies
+        #: Validates templates at insert time (store-time defense in
+        #: depth); ``None`` disables validation (entries are then never
+        #: marked ``validated`` and executors keep their own guard).
+        self.evaluator = evaluator
+        self.capacity = capacity
+        self.stats = PlanCacheStats()
+        self._entries: OrderedDict[Hashable, CacheEntry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- parameterization -------------------------------------------------------
+
+    def prepare(self, plan: LogicalPlan) -> PreparedQuery:
+        return prepare_query(plan, self.policies)
+
+    # -- lookup / store ---------------------------------------------------------
+
+    def lookup(
+        self, prepared: PreparedQuery, result_location: str | None = None
+    ) -> CacheEntry | None:
+        """Return the valid entry for ``prepared``, or ``None`` (miss).
+        Stale entries (a dependency was removed/replaced) are dropped
+        here and counted as invalidations."""
+        key = prepared.key(result_location)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        changed = self.policies.changed_since(entry.version)
+        if changed & entry.dependencies:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        # Nothing the derivation read changed in (entry.version, now]:
+        # the entry is valid at the current version too.
+        entry.version = self.policies.version
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def store(
+        self,
+        prepared: PreparedQuery,
+        result_location: str | None,
+        *,
+        plan: PhysicalPlan,
+        normalized: LogicalPlan,
+        annotate: object,
+        selection: object,
+        dependencies: set[int] | frozenset[int],
+    ) -> CacheEntry:
+        validated = False
+        if self.evaluator is not None:
+            from .validator import check_compliance
+
+            validated = not check_compliance(plan, self.evaluator)
+        entry = CacheEntry(
+            plan=plan,
+            bindings=prepared.bindings,
+            normalized=normalized,
+            annotate=annotate,
+            selection=selection,
+            dependencies=frozenset(dependencies),
+            version=self.policies.version,
+            validated=validated,
+        )
+        self._entries[prepared.key(result_location)] = entry
+        self._entries.move_to_end(prepared.key(result_location))
+        self.stats.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- rebinding --------------------------------------------------------------
+
+    def rebind(self, entry: CacheEntry, prepared: PreparedQuery) -> PhysicalPlan:
+        """Deep-rebuild the cached physical plan with ``prepared``'s
+        bindings substituted for the entry's.  Always returns a fresh
+        tree — executors and the recovery layer may mutate plans, and
+        the cached template must never be aliased by a running query."""
+        mapping: dict[tuple[DataType, object], Literal] = {}
+        for old, new in zip(entry.bindings, prepared.bindings):
+            if old.value != new.value:
+                mapping[(old.dtype, old.value)] = new
+        return _clone_physical(entry.plan, mapping)
+
+
+# -- parameterization internals -------------------------------------------------
+
+
+def prepare_query(plan: LogicalPlan, policies: PolicyCatalog) -> PreparedQuery:
+    """Classify the plan's constants (see module docstring) and replace
+    each free one with a typed marker, in deterministic walk order."""
+    sensitive = _sensitive_keys(plan, policies)
+    key_uses: Counter = Counter()
+    atoms: list[tuple[Hashable, tuple[Literal, ...]]] = []
+    census: Counter = Counter()
+    for expr, is_predicate in _plan_expressions(plan):
+        for lit in _literals(expr):
+            census[(lit.dtype, lit.value)] += 1
+        if is_predicate:
+            _scan_predicate(expr, atoms, key_uses)
+
+    free: set[tuple[DataType, object]] = set()
+    for key, literals in atoms:
+        if key in sensitive or key_uses[key] != 1:
+            continue
+        for lit in literals:
+            if census[(lit.dtype, lit.value)] == 1:
+                free.add((lit.dtype, lit.value))
+
+    bindings: list[Literal] = []
+    shape = _map_plan_expressions(
+        plan, lambda e: _parameterize_expr(e, free, bindings)
+    )
+    return PreparedQuery(
+        shape=shape,
+        signature=tuple(b.dtype for b in bindings),
+        bindings=tuple(bindings),
+    )
+
+
+def _sensitive_keys(plan: LogicalPlan, policies: PolicyCatalog) -> set[Hashable]:
+    """Column keys mentioned by any predicate of any policy expression
+    registered for a table the plan scans — exactly the policy-side
+    atoms the implication prover may consult for this plan."""
+    keys: set[Hashable] = set()
+    seen: set[tuple[str, str]] = set()
+    for node in plan.walk():
+        if not isinstance(node, LogicalScan):
+            continue
+        table = (node.database, node.table)
+        if table in seen:
+            continue
+        seen.add(table)
+        for expression in policies.for_table(node.database, node.table):
+            if expression.predicate is None:
+                continue
+            for sub in walk(expression.predicate):
+                if isinstance(sub, ColumnRef):
+                    keys.add(column_key(sub))
+    return keys
+
+
+def _plan_expressions(plan: LogicalPlan):
+    """Yield ``(expression, is_predicate)`` for every expression the
+    plan carries."""
+    for node in plan.walk():
+        if isinstance(node, LogicalFilter):
+            yield node.predicate, True
+        elif isinstance(node, LogicalJoin):
+            if node.condition is not None:
+                yield node.condition, True
+        elif isinstance(node, LogicalProject):
+            for expr in node.exprs:
+                yield expr, False
+        elif isinstance(node, LogicalAggregate):
+            for key in node.group_keys:
+                yield key, False
+            for agg in node.aggregates:
+                yield agg, False
+
+
+def _literals(expr: Expression):
+    """Every :class:`Literal` occurrence in ``expr`` — including
+    ``InList.values``, which are not expression children."""
+    for node in walk(expr):
+        if isinstance(node, Literal):
+            yield node
+        elif isinstance(node, InList):
+            yield from node.values
+
+
+def _scan_predicate(
+    expr: Expression,
+    atoms: list[tuple[Hashable, tuple[Literal, ...]]],
+    key_uses: Counter,
+) -> None:
+    """Collect candidate simple atoms and count per-key predicate uses,
+    mirroring :func:`repro.expr.predicates._atom_conjunct`'s shapes."""
+    if isinstance(expr, (And, Or, Not)):
+        for child in expr.children():
+            _scan_predicate(child, atoms, key_uses)
+        return
+    if isinstance(expr, Comparison):
+        left, right = expr.left, expr.right
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            left, right = right, left
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            key_uses[column_key(left)] += 1
+            if left.base is not None:
+                atoms.append((column_key(left), (right,)))
+            return
+    elif isinstance(expr, InList) and isinstance(expr.operand, ColumnRef):
+        key = column_key(expr.operand)
+        key_uses[key] += 1
+        if expr.operand.base is not None:
+            atoms.append((key, expr.values))
+        return
+    elif isinstance(expr, Like) and isinstance(expr.operand, ColumnRef):
+        key_uses[column_key(expr.operand)] += 1
+        return
+    # Opaque context (column-column comparisons, arithmetic, IS NULL,
+    # function calls, bare booleans): count every column use; literals
+    # inside stay pinned because no atom is emitted for them.
+    for node in walk(expr):
+        if isinstance(node, ColumnRef):
+            key_uses[column_key(node)] += 1
+
+
+def _parameterize_expr(
+    expr: Expression,
+    free: set[tuple[DataType, object]],
+    bindings: list[Literal],
+) -> Expression:
+    if isinstance(expr, Literal):
+        if (expr.dtype, expr.value) in free:
+            marker = Literal(_Param(len(bindings)), expr.dtype)
+            bindings.append(expr)
+            return marker
+        return expr
+    if isinstance(expr, InList):
+        operand = _parameterize_expr(expr.operand, free, bindings)
+        values = tuple(
+            _parameterize_expr(v, free, bindings) for v in expr.values
+        )
+        if operand is expr.operand and values == expr.values:
+            return expr
+        return InList(operand, values, expr.negated)  # type: ignore[arg-type]
+    kids = expr.children()
+    if not kids:
+        return expr
+    new_kids = tuple(_parameterize_expr(k, free, bindings) for k in kids)
+    if new_kids == kids:
+        return expr
+    return expr.with_children(new_kids)
+
+
+def _map_plan_expressions(node: LogicalPlan, f) -> LogicalPlan:
+    """Rebuild a logical plan applying ``f`` to every carried
+    expression, children first (deterministic marker order)."""
+    kids = tuple(_map_plan_expressions(c, f) for c in node.children())
+    if isinstance(node, LogicalFilter):
+        return LogicalFilter(kids[0], f(node.predicate))
+    if isinstance(node, LogicalJoin):
+        condition = None if node.condition is None else f(node.condition)
+        return LogicalJoin(kids[0], kids[1], condition)
+    if isinstance(node, LogicalProject):
+        return LogicalProject(kids[0], tuple(f(e) for e in node.exprs), node.names)
+    if isinstance(node, LogicalAggregate):
+        return LogicalAggregate(
+            kids[0],
+            node.group_keys,
+            tuple(f(a) for a in node.aggregates),
+            node.agg_names,
+        )
+    if kids == node.children():
+        return node
+    return node.with_children(kids)
+
+
+# -- rebinding internals --------------------------------------------------------
+
+
+def _rebind_expr(
+    expr: Expression, mapping: dict[tuple[DataType, object], Literal]
+) -> Expression:
+    if isinstance(expr, Literal):
+        return mapping.get((expr.dtype, expr.value), expr)
+    if isinstance(expr, InList):
+        operand = _rebind_expr(expr.operand, mapping)
+        values = tuple(
+            mapping.get((v.dtype, v.value), v) for v in expr.values
+        )
+        if operand is expr.operand and values == expr.values:
+            return expr
+        return InList(operand, values, expr.negated)
+    kids = expr.children()
+    if not kids:
+        return expr
+    new_kids = tuple(_rebind_expr(k, mapping) for k in kids)
+    if new_kids == kids:
+        return expr
+    return expr.with_children(new_kids)
+
+
+def _clone_physical(
+    node: PhysicalPlan, mapping: dict[tuple[DataType, object], Literal]
+) -> PhysicalPlan:
+    """Deep copy with free-constant substitution in every expression."""
+
+    def expr(e):
+        return None if e is None else _rebind_expr(e, mapping)
+
+    common = dict(
+        fields=node.fields,
+        location=node.location,
+        estimated_rows=node.estimated_rows,
+        execution_trait=node.execution_trait,
+    )
+    if isinstance(node, TableScan):
+        return TableScan(
+            **common, table=node.table, database=node.database, alias=node.alias
+        )
+    if isinstance(node, Filter):
+        return Filter(
+            **common,
+            child=_clone_physical(node.child, mapping),
+            predicate=expr(node.predicate),
+        )
+    if isinstance(node, Project):
+        return Project(
+            **common,
+            child=_clone_physical(node.child, mapping),
+            exprs=tuple(expr(e) for e in node.exprs),
+            names=node.names,
+        )
+    if isinstance(node, HashJoin):
+        return HashJoin(
+            **common,
+            left=_clone_physical(node.left, mapping),
+            right=_clone_physical(node.right, mapping),
+            left_keys=node.left_keys,
+            right_keys=node.right_keys,
+            residual=expr(node.residual),
+        )
+    if isinstance(node, NestedLoopJoin):
+        return NestedLoopJoin(
+            **common,
+            left=_clone_physical(node.left, mapping),
+            right=_clone_physical(node.right, mapping),
+            condition=expr(node.condition),
+        )
+    if isinstance(node, HashAggregate):
+        return HashAggregate(
+            **common,
+            child=_clone_physical(node.child, mapping),
+            group_keys=node.group_keys,
+            aggregates=tuple(expr(a) for a in node.aggregates),
+            agg_names=node.agg_names,
+        )
+    if isinstance(node, UnionAll):
+        return UnionAll(
+            **common,
+            inputs=tuple(_clone_physical(c, mapping) for c in node.inputs),
+        )
+    if isinstance(node, Sort):
+        return Sort(
+            **common,
+            child=_clone_physical(node.child, mapping),
+            sort_keys=node.sort_keys,
+            limit=node.limit,
+        )
+    if isinstance(node, Ship):
+        return Ship(
+            **common,
+            child=_clone_physical(node.child, mapping),
+            source=node.source,
+            target=node.target,
+        )
+    raise TypeError(
+        f"unknown physical operator {type(node).__name__}"
+    )  # pragma: no cover - defensive

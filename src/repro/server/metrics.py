@@ -48,6 +48,13 @@ class ServerMetrics:
     breaker_trips: int = 0
     #: Compliance-preserving failovers across all executed queries.
     recoveries: int = 0
+    #: Plan-cache lookups during this run that reused a cached template
+    #: (0 when the optimizer carries no plan cache).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    #: Cached entries dropped during this run because a policy their
+    #: derivation read was removed or replaced.
+    plan_cache_invalidations: int = 0
     #: Final breaker state per link ("src->dst" -> state name).
     breaker_states: dict[str, str] = field(default_factory=dict)
 
@@ -88,4 +95,11 @@ class ServerMetrics:
             f"{self.breaker_fast_fails} breaker fast-fails, "
             f"{self.breaker_trips} breaker trips, "
             f"{self.recoveries} failovers"
+            + (
+                f"; plan cache {self.plan_cache_hits} hits / "
+                f"{self.plan_cache_misses} misses, "
+                f"{self.plan_cache_invalidations} invalidations"
+                if self.plan_cache_hits + self.plan_cache_misses > 0
+                else ""
+            )
         )

@@ -181,20 +181,40 @@ class QueryServer:
                 "QueryServer needs an optimizer for SQL requests (or "
                 "requests carrying pre-built plans)"
             )
+        if getattr(self.optimizer, "plan_cache", None) is not None:
+            # The optimizer carries a compliant plan cache: let every
+            # request go through it (parameterized templates share
+            # entries; policy hot-reload invalidates precisely).  A
+            # store-time-validated hit/store skips the server's own
+            # guard — but only when it was validated by the same
+            # evaluator this server guards with.
+            result = self.optimizer.optimize(request.sql)
+            if self.evaluator is not None and not (
+                getattr(result, "compliance_validated", False)
+                and getattr(result, "validated_by", None) is self.evaluator
+            ):
+                self._guard(result.plan)
+            return result.plan
+        # No optimizer-level cache: memoize located plans by SQL text.
+        # (Unsound across policy reloads — only used when the compliant
+        # plan cache is disabled.)
         plan = self._plan_cache.get(request.sql)
         if plan is None:
             plan = self.optimizer.optimize(request.sql).plan
             if self.evaluator is not None:
-                from ..optimizer.validator import check_compliance
-
-                violations = check_compliance(plan, self.evaluator)
-                if violations:
-                    details = "; ".join(str(v) for v in violations)
-                    raise ComplianceViolationError(
-                        f"refusing to serve non-compliant plan: {details}"
-                    )
+                self._guard(plan)
             self._plan_cache[request.sql] = plan
         return plan
+
+    def _guard(self, plan: PhysicalPlan) -> None:
+        from ..optimizer.validator import check_compliance
+
+        violations = check_compliance(plan, self.evaluator)
+        if violations:
+            details = "; ".join(str(v) for v in violations)
+            raise ComplianceViolationError(
+                f"refusing to serve non-compliant plan: {details}"
+            )
 
     # -- the event loop ---------------------------------------------------------
 
@@ -204,6 +224,10 @@ class QueryServer:
         ``len(requests)``).  Genuine operator bugs propagate; every
         load/WAN outcome is a typed result, never an exception."""
         metrics = ServerMetrics(total=len(requests))
+        plan_cache = getattr(self.optimizer, "plan_cache", None)
+        cache_before = (
+            plan_cache.stats.snapshot() if plan_cache is not None else None
+        )
         outcomes: dict[int, QueryOutcome] = {}
         events: list[_Event] = []
         seq = 0
@@ -299,9 +323,17 @@ class QueryServer:
             dispatch(now)
 
         assert not queue and not running  # the loop drains everything
+        final = self._account(metrics, outcomes, last_event)
+        if cache_before is not None:
+            after = plan_cache.stats
+            final.plan_cache_hits = after.hits - cache_before.hits
+            final.plan_cache_misses = after.misses - cache_before.misses
+            final.plan_cache_invalidations = (
+                after.invalidations - cache_before.invalidations
+            )
         return ServeResult(
             outcomes=[outcomes[i] for i in sorted(outcomes)],
-            metrics=self._account(metrics, outcomes, last_event),
+            metrics=final,
             breakers=self.breakers,
         )
 

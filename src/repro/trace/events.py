@@ -81,6 +81,11 @@ class OptimizedEvent(TraceEvent):
     execution_trait: list[str] = dataclasses.field(default_factory=list)
     groups: int = 0
     expressions: int = 0
+    #: True when the plan came from the compliant plan cache (both
+    #: optimizer phases skipped; traits/effort are the cached
+    #: template's).  Defaults to False so pre-cache traces stay
+    #: parseable.
+    plan_cache_hit: bool = False
 
 
 @dataclass

@@ -147,6 +147,7 @@ class TraceRecorder:
                 execution_trait=sorted(root.execution_trait),
                 groups=result.annotate.group_count,
                 expressions=result.annotate.expression_count,
+                plan_cache_hit=getattr(result, "cache_hit", False),
             )
         )
         self.record_placements(result.plan)

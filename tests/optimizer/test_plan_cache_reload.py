@@ -1,0 +1,254 @@
+"""Property-based hot-reload suite for the compliant plan cache.
+
+Fuzzes interleavings of query optimizations and policy-catalog
+mutations (``add`` / ``remove`` / ``replace``) and asserts, after every
+step:
+
+* **soundness** — every plan the cached optimizer serves (warm or cold)
+  passes the independent Definition-1 validator against the *current*
+  policy set: no post-reload execution ever uses a plan whose
+  permitted-location derivation read a changed policy;
+* **acceptance equivalence** — the cached optimizer accepts exactly the
+  queries a cache-less optimizer over the same live catalog accepts;
+* **precision** — a model tracking each entry's recorded dependency set
+  predicts hits: entries whose dependencies were untouched by the
+  mutations survive them (including pure additions, which must never
+  invalidate anything).
+
+The query pool is chosen so literal classification is reload-stable
+(every literal column is doubly constrained, hence always pinned), so a
+surviving entry is observable as a cache hit rather than a shape miss.
+
+An injected-bug oracle runs the same machinery over a deliberately
+broken cache whose ``lookup`` skips revalidation, and asserts the suite
+flags it — evidence the soundness oracle has teeth.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Column, TableSchema
+from repro.datatypes import DataType
+from repro.errors import NonCompliantQueryError
+from repro.geo import synthetic_network
+from repro.optimizer import CompliantOptimizer, PlanCache, check_compliance
+from repro.policy import PolicyCatalog, PolicyEvaluator, parse_policy
+
+POLICY_POOL = (
+    "ship k, v from t to x where v > 10",
+    "ship k from t to y",
+    "ship k, w from u to y",
+    "ship k, w from u to x where w > 0",
+    "ship seg from t to y",
+)
+
+#: Every literal's column is constrained twice, so the parameterizer
+#: pins it under *any* policy subset — cache keys survive reloads.
+QUERY_POOL = (
+    "SELECT k, v FROM t WHERE v > 20 AND v < 1000",
+    "SELECT k FROM t WHERE k > 3 AND k < 900",
+    "SELECT k, w FROM u WHERE w > 4 AND w < 900",
+    "SELECT seg FROM t",
+    "SELECT k, v FROM t",
+)
+
+LOCATIONS = (None, "x", "y")
+
+
+def build_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.add_database("db1", "home")
+    for loc in ("x", "y"):
+        catalog.add_database(f"db_{loc}", loc)
+    catalog.add_table(
+        "db1",
+        TableSchema(
+            "t",
+            (
+                Column("k", DataType.INTEGER),
+                Column("v", DataType.INTEGER),
+                Column("seg", DataType.VARCHAR),
+            ),
+            primary_key=("k",),
+        ),
+        row_count=50,
+    )
+    catalog.add_table(
+        "db1",
+        TableSchema(
+            "u",
+            (Column("k", DataType.INTEGER), Column("w", DataType.INTEGER)),
+            primary_key=("k",),
+        ),
+        row_count=30,
+    )
+    return catalog
+
+
+class BrokenPlanCache(PlanCache):
+    """Deliberately buggy invalidator: lookups never revalidate, so a
+    hot reload keeps serving stale derivations."""
+
+    def lookup(self, prepared, result_location=None):
+        key = prepared.key(result_location)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+
+def run_interleaving(operations, cache_class=PlanCache):
+    """Drive one interleaving; return (violations, precision_failures).
+
+    ``violations`` are Definition-1 breaches of *served* plans under the
+    live policy set (must be empty for a correct cache); a precision
+    failure is a survivor entry that missed, or a stale one that hit.
+    """
+    catalog = build_catalog()
+    network = synthetic_network(catalog.locations)
+    policies = PolicyCatalog(catalog)
+    cache = cache_class(policies)
+    optimizer = CompliantOptimizer(catalog, policies, network, plan_cache=cache)
+
+    active = {}  # pool index -> live PolicyExpression
+    # (sql, loc) -> (dependencies, expect_hit) model of stored entries.
+    model = {}
+    violations = []
+    precision_failures = []
+
+    def mutate_invalidates(pid):
+        for proxy, (deps, _) in list(model.items()):
+            if pid in deps:
+                model[proxy] = (deps, False)
+
+    for op in operations:
+        kind = op[0]
+        if kind == "add":
+            index = op[1]
+            if index in active:
+                continue
+            active[index] = policies.add_text(POLICY_POOL[index])
+            # Additions are monotone: every expectation stands.
+        elif kind == "remove":
+            index = op[1]
+            if index not in active:
+                continue
+            pid = policies.id_of(active[index])
+            policies.remove(active.pop(index))
+            mutate_invalidates(pid)
+        elif kind == "replace":
+            index = op[1]
+            if index not in active:
+                continue
+            pid = policies.id_of(active[index])
+            active[index] = policies.replace(
+                active[index], parse_policy(POLICY_POOL[index], catalog)
+            )
+            mutate_invalidates(pid)
+        else:  # run
+            _, query_index, location_index = op
+            sql = QUERY_POOL[query_index]
+            location = LOCATIONS[location_index]
+            proxy = (sql, location)
+            keys_before = set(cache._entries)
+            try:
+                result = optimizer.optimize(sql, result_location=location)
+            except NonCompliantQueryError:
+                result = None
+            fresh = CompliantOptimizer(catalog, policies, network)
+            try:
+                fresh.optimize(sql, result_location=location)
+                fresh_accepts = True
+            except NonCompliantQueryError:
+                fresh_accepts = False
+
+            if result is None:
+                if fresh_accepts:
+                    violations.append((proxy, "cached rejected, fresh accepts"))
+                model.pop(proxy, None)  # rejections are never cached
+                continue
+            if not fresh_accepts:
+                violations.append((proxy, "cached accepted, fresh rejects"))
+            # Soundness: the served plan is compliant under the *live*
+            # policy set, judged by an independent evaluator.
+            found = check_compliance(result.plan, PolicyEvaluator(policies))
+            if found:
+                violations.append((proxy, found))
+            expected = model.get(proxy)
+            if expected is not None and expected[1] != result.cache_hit:
+                precision_failures.append((proxy, expected[1], result.cache_hit))
+            if not result.cache_hit:
+                new_keys = set(cache._entries) - keys_before
+                if len(new_keys) == 1:
+                    entry = cache._entries[new_keys.pop()]
+                    model[proxy] = (set(entry.dependencies), True)
+            elif proxy in model:
+                model[proxy] = (model[proxy][0], True)
+    return violations, precision_failures
+
+
+operation = st.one_of(
+    st.tuples(
+        st.just("run"),
+        st.integers(0, len(QUERY_POOL) - 1),
+        st.integers(0, len(LOCATIONS) - 1),
+    ),
+    st.tuples(st.just("add"), st.integers(0, len(POLICY_POOL) - 1)),
+    st.tuples(st.just("remove"), st.integers(0, len(POLICY_POOL) - 1)),
+    st.tuples(st.just("replace"), st.integers(0, len(POLICY_POOL) - 1)),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(operation, min_size=2, max_size=14))
+def test_hot_reload_soundness_and_precision(operations):
+    violations, precision_failures = run_interleaving(operations)
+    assert not violations, violations
+    assert not precision_failures, precision_failures
+
+
+#: A deterministic interleaving whose stale entry is non-compliant
+#: after the reload: store under the v-policy, remove it, re-run.
+LEAKY_INTERLEAVING = (
+    ("add", 0),  # ship k, v from t to x where v > 10
+    ("run", 0, 1),  # SELECT k, v ... WHERE v > 20 AND v < 1000 -> x
+    ("remove", 0),
+    ("run", 0, 1),  # must now be rejected, not served stale
+)
+
+
+def test_injected_bug_is_detected():
+    """The suite's oracle must flag a cache that skips revalidation."""
+    honest, _ = run_interleaving(LEAKY_INTERLEAVING)
+    assert not honest
+    broken, _ = run_interleaving(LEAKY_INTERLEAVING, cache_class=BrokenPlanCache)
+    assert broken, "broken invalidator served a stale plan undetected"
+    # The flagged problem is the real one: a Definition-1 violation or
+    # an acceptance divergence on the post-reload run.
+    proxy = ("SELECT k, v FROM t WHERE v > 20 AND v < 1000", "x")
+    assert any(entry[0] == proxy for entry in broken)
+
+
+def test_broken_cache_serves_noncompliant_plan_directly():
+    """Sanity-check the mechanism without the harness: after the
+    reload, the broken cache hands out a plan the honest optimizer
+    refuses to produce."""
+    catalog = build_catalog()
+    network = synthetic_network(catalog.locations)
+    policies = PolicyCatalog(catalog)
+    broken = CompliantOptimizer(
+        catalog, policies, network, plan_cache=BrokenPlanCache(policies)
+    )
+    expression = policies.add_text(POLICY_POOL[0])
+    sql = "SELECT k, v FROM t WHERE v > 20 AND v < 1000"
+    broken.optimize(sql, result_location="x")
+    policies.remove(expression)
+    stale = broken.optimize(sql, result_location="x")
+    assert stale.cache_hit
+    assert check_compliance(stale.plan, PolicyEvaluator(policies))
+    honest = CompliantOptimizer(catalog, policies, network, plan_cache=True)
+    with pytest.raises(NonCompliantQueryError):
+        honest.optimize(sql, result_location="x")

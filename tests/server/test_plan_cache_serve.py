@@ -1,0 +1,105 @@
+"""Server-level plan-cache smoke: a warm serve run reports a positive
+hit rate and serves exactly the rows a cold (cache-less) server serves.
+This is the test the CI plan-cache smoke job runs."""
+
+import pytest
+
+from repro.optimizer import CompliantOptimizer
+from repro.server import QueryRequest, QueryServer
+
+
+def template_workload(carco):
+    """Repeated query templates: the CarCo query plus literal-varied
+    selections — the workload shape the cache exists for."""
+    requests = []
+    at = 0.0
+    for wave in range(3):
+        requests.append(QueryRequest(sql=carco.query, arrival=at, name=f"carco-{wave}"))
+        at += 0.01
+        for seg in ("a", "b"):
+            requests.append(
+                QueryRequest(
+                    sql=(
+                        "SELECT custkey, name FROM customer "
+                        f"WHERE mktseg = '{seg}'"
+                    ),
+                    arrival=at,
+                    name=f"seg-{seg}-{wave}",
+                )
+            )
+            at += 0.01
+    return requests
+
+
+def serve_with(carco, plan_cache):
+    optimizer = CompliantOptimizer(
+        carco.catalog, carco.policies, carco.network, plan_cache=plan_cache
+    )
+    server = QueryServer(
+        carco.database,
+        carco.network,
+        optimizer=optimizer,
+        evaluator=optimizer.evaluator,
+    )
+    return server.serve(template_workload(carco)), optimizer
+
+
+def test_warm_serve_hits_and_matches_cold(carco):
+    warm, warm_optimizer = serve_with(carco, plan_cache=True)
+    cold, _ = serve_with(carco, plan_cache=False)
+
+    assert warm.metrics.served == cold.metrics.served == 9
+    # Hit rate > 0: the repeated templates actually reused entries.
+    assert warm.metrics.plan_cache_hits > 0
+    assert (
+        warm.metrics.plan_cache_hits + warm.metrics.plan_cache_misses
+        == len(template_workload(carco))
+    )
+    assert warm.metrics.plan_cache_invalidations == 0
+    assert warm_optimizer.plan_cache.stats.hit_rate > 0
+
+    # Zero served-row divergence: ordered identity per request.
+    for warm_outcome, cold_outcome in zip(warm.outcomes, cold.outcomes):
+        assert warm_outcome.request.name == cold_outcome.request.name
+        assert warm_outcome.status == cold_outcome.status == "served"
+        assert warm_outcome.columns == cold_outcome.columns
+        assert warm_outcome.rows == cold_outcome.rows
+
+    # The cold server reports no cache activity at all.
+    assert cold.metrics.plan_cache_hits == 0
+    assert cold.metrics.plan_cache_misses == 0
+    assert "plan cache" in warm.metrics.summary()
+    assert "plan cache" not in cold.metrics.summary()
+
+
+def test_hot_reload_during_serving_is_sound(carco):
+    """A policy removal between serve waves invalidates dependent
+    entries; subsequent requests re-derive instead of reusing."""
+    optimizer = CompliantOptimizer(
+        carco.catalog, carco.policies, carco.network, plan_cache=True
+    )
+    server = QueryServer(
+        carco.database,
+        carco.network,
+        optimizer=optimizer,
+        evaluator=optimizer.evaluator,
+    )
+    request = [QueryRequest(sql=carco.query, arrival=0.0)]
+    first = server.serve(request)
+    assert first.metrics.served == 1
+
+    # Replace some policy the CarCo derivation read with itself: the
+    # entry's read set is table-wide, so the swap must invalidate it.
+    target = carco.policies.expressions[0]
+    from repro.policy import parse_policy
+
+    carco.policies.replace(
+        target, parse_policy(target.source_text, carco.catalog)
+    )
+    second = server.serve(request)
+    assert second.metrics.served == 1
+    assert second.metrics.plan_cache_invalidations == 1
+    assert second.metrics.plan_cache_misses == 1
+    third = server.serve(request)
+    assert third.metrics.plan_cache_hits == 1
+    assert first.outcomes[0].rows == second.outcomes[0].rows == third.outcomes[0].rows
