@@ -3,8 +3,11 @@
 from .schema import Column, ForeignKey, TableSchema
 from .statistics import ColumnStats, TableStats, stats_from_rows, uniform_stats
 from .catalog import Catalog, Database, GlobalTable, StoredTable
+from .replicas import Replica, parse_replica_spec
 
 __all__ = [
+    "Replica",
+    "parse_replica_spec",
     "Column",
     "ForeignKey",
     "TableSchema",

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import CatalogError
+from .replicas import Replica
 from .schema import TableSchema
 from .statistics import TableStats, uniform_stats
 
@@ -71,6 +72,14 @@ class Catalog:
     def __init__(self) -> None:
         self._databases: dict[str, Database] = {}
         self._tables: dict[str, GlobalTable] = {}
+        #: Read-only alternate placements per stored fragment, keyed by
+        #: ``(database, table)``.  See :mod:`.replicas`.
+        self._replicas: dict[tuple[str, str], list[Replica]] = {}
+        #: Monotone catalog version, bumped on every replica-set change.
+        #: Mirrors ``PolicyCatalog.version``: the plan cache and the
+        #: replica resolver key derived state on it so cached located
+        #: plans never pin a scan to a replica that has been dropped.
+        self._version = 0
 
     # -- databases ---------------------------------------------------------
 
@@ -162,3 +171,78 @@ class Catalog:
             if fragment.database == database:
                 return fragment
         raise CatalogError(f"table {table!r} has no fragment in database {database!r}")
+
+    # -- replicas ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone counter covering the replica set.  Derived state
+        (plan-cache entries, resolver caches) keyed on it is invalidated
+        by any :meth:`add_replica` / :meth:`drop_replica`."""
+        return self._version
+
+    def add_replica(
+        self,
+        database: str,
+        table: str,
+        site: str,
+        staleness_seconds: float = 0.0,
+    ) -> Replica:
+        """Declare that the fragment of ``table`` in ``database`` is also
+        readable at ``site`` (a location that hosts some database)."""
+        primary = self.stored_table(database, table)
+        if site not in self.locations:
+            raise CatalogError(
+                f"replica site {site!r} hosts no database in this catalog"
+            )
+        if site == primary.location:
+            raise CatalogError(
+                f"replica of {primary.qualified_name} at {site!r} duplicates "
+                "its primary location"
+            )
+        key = (database, table.lower())
+        existing = self._replicas.setdefault(key, [])
+        if any(r.site == site for r in existing):
+            raise CatalogError(
+                f"{primary.qualified_name} already has a replica at {site!r}"
+            )
+        replica = Replica(database, table.lower(), site, staleness_seconds)
+        existing.append(replica)
+        self._version += 1
+        return replica
+
+    def drop_replica(self, database: str, table: str, site: str) -> None:
+        key = (database, table.lower())
+        existing = self._replicas.get(key, [])
+        kept = [r for r in existing if r.site != site]
+        if len(kept) == len(existing):
+            raise CatalogError(
+                f"{database}.{table} has no replica at {site!r} to drop"
+            )
+        if kept:
+            self._replicas[key] = kept
+        else:
+            del self._replicas[key]
+        self._version += 1
+
+    def replicas(self, database: str, table: str) -> list[Replica]:
+        """All declared replicas of one stored fragment (may be empty)."""
+        return list(self._replicas.get((database, table.lower()), []))
+
+    def all_replicas(self) -> list[Replica]:
+        return [r for entries in self._replicas.values() for r in entries]
+
+    def replica_sites(
+        self,
+        database: str,
+        table: str,
+        max_staleness: float | None = None,
+    ) -> frozenset[str]:
+        """Sites holding a replica of the fragment, filtered to those
+        whose staleness bound fits ``max_staleness`` (``None`` = any)."""
+        entries = self._replicas.get((database, table.lower()), ())
+        if max_staleness is not None:
+            entries = [
+                r for r in entries if r.staleness_seconds <= max_staleness
+            ]
+        return frozenset(r.site for r in entries)

@@ -1,0 +1,101 @@
+"""Replicated base-table fragments.
+
+The paper fixes exactly one location per stored table fragment;
+production geo-systems replicate.  A :class:`Replica` declares that the
+fragment of ``table`` stored in ``database`` is *also* readable at
+``site``, optionally with a staleness bound (how far the copy may lag
+the primary, in seconds).  Replicas are read-only alternates: loads
+still target the primary fragment and the in-memory
+:class:`~repro.geo.GeoDatabase` keys rows by ``(database, table)``, so
+every replica read returns byte-identical rows — which is exactly the
+Parallel-Correctness/Transferability condition under which re-routing a
+subquery across distributions preserves results.
+
+Whether a replica is *legal* to read is a policy question, answered per
+scan by :class:`~repro.policy.replicas.ReplicaResolver`: a replica site
+is compliant iff the policy grant 𝒜 of the bare full-table scan admits
+it.  The catalog layer only records placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CatalogError
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One read-only alternate placement of a stored table fragment.
+
+    ``staleness_seconds`` bounds how far this copy may lag the primary;
+    ``0.0`` means synchronously replicated.  Queries carrying a
+    ``max_staleness`` requirement only consider replicas whose bound is
+    within it (the primary always qualifies).
+    """
+
+    database: str
+    table: str
+    site: str
+    staleness_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.staleness_seconds < 0:
+            raise CatalogError(
+                f"replica {self.database}.{self.table}@{self.site}: "
+                f"staleness bound must be >= 0, got {self.staleness_seconds}"
+            )
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.database}.{self.table}"
+
+    def describe(self) -> str:
+        suffix = f"+{self.staleness_seconds:g}" if self.staleness_seconds else ""
+        return f"{self.database}.{self.table}@{self.site}{suffix}"
+
+
+def parse_replica_spec(spec: str) -> list[Replica]:
+    """Parse a CLI replica spec into :class:`Replica` declarations.
+
+    Grammar (entries separated by ``;`` or ``,``)::
+
+        db1.customer@Asia          -- synchronous replica
+        db1.customer@Asia+0.5      -- replica lagging up to 0.5 s
+        db2.orders@Europe
+
+    Whitespace around tokens is ignored; empty entries are skipped so
+    trailing separators are harmless.
+    """
+    replicas: list[Replica] = []
+    for raw in spec.replace(",", ";").split(";"):
+        entry = raw.strip()
+        if not entry:
+            continue
+        if "@" not in entry:
+            raise CatalogError(
+                f"bad replica spec {entry!r}: expected db.table@Site[+staleness]"
+            )
+        name, _, placement = entry.partition("@")
+        if "." not in name:
+            raise CatalogError(
+                f"bad replica spec {entry!r}: table must be qualified as db.table"
+            )
+        database, _, table = name.partition(".")
+        site, plus, staleness = placement.partition("+")
+        database, table, site = database.strip(), table.strip(), site.strip()
+        if not database or not table or not site:
+            raise CatalogError(
+                f"bad replica spec {entry!r}: expected db.table@Site[+staleness]"
+            )
+        bound = 0.0
+        if plus:
+            try:
+                bound = float(staleness)
+            except ValueError:
+                raise CatalogError(
+                    f"bad replica spec {entry!r}: staleness {staleness!r} "
+                    "is not a number"
+                ) from None
+        replicas.append(Replica(database, table.lower(), site, bound))
+    return replicas

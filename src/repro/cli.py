@@ -27,6 +27,19 @@ curated policy sets, and both optimizers:
 Named queries (``Q2``, ``Q3``, ``Q5``, ``Q8``, ``Q9``, ``Q10``) may be
 used in place of SQL text (in ``serve`` workload files too).
 
+``explain``, ``run``, ``serve``, and ``audit`` accept
+``--replicas SPEC`` to register read replicas before planning
+(``db1.customer@NorthAmerica;db2.orders@Europe+0.5`` — ``+S`` is the
+replica's staleness bound in seconds); the optimizer reads each table
+from the cheapest *compliant* copy and the failover planner fails
+scans over to alternate compliant replicas before re-placement.
+``--max-staleness S`` restricts planning (not failover) to replicas
+no staler than ``S`` seconds.  ``audit`` needs the same ``--replicas``
+spec the traced run used, so its independently rebuilt catalog can
+re-confirm each replica read (an unregistered site is a
+``displaced-scan``; a registered one the policies reject is a
+``non-compliant-replica``).
+
 ``run`` and ``serve`` accept ``--trace FILE`` to record every optimizer
 decision, SHIP attempt, and admission event as deterministic JSONL;
 ``audit`` with an existing trace file replays it against the policy set
@@ -45,6 +58,7 @@ import os
 import sys
 from contextlib import nullcontext
 
+from .catalog import parse_replica_spec
 from .errors import NonCompliantQueryError, ReproError
 from .execution import (
     ExecutionEngine,
@@ -80,6 +94,19 @@ def _resolve_sql(text: str) -> str:
     return text
 
 
+def _apply_replicas(catalog, spec: str | None) -> None:
+    """Register the replicas of a ``--replicas`` spec on ``catalog``."""
+    if spec is None:
+        return
+    for replica in parse_replica_spec(spec):
+        catalog.add_replica(
+            replica.database,
+            replica.table,
+            replica.site,
+            staleness_seconds=replica.staleness_seconds,
+        )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -98,8 +125,27 @@ def _build_parser() -> argparse.ArgumentParser:
             help="curated policy-expression set (default: CR)",
         )
 
+    def add_replicas(p: argparse.ArgumentParser, planning: bool = True) -> None:
+        p.add_argument(
+            "--replicas",
+            default=None,
+            metavar="SPEC",
+            help="register read replicas before planning; ';'-separated "
+            "entries db.table@Site[+STALENESS_SECONDS]",
+        )
+        if planning:
+            p.add_argument(
+                "--max-staleness",
+                type=float,
+                default=None,
+                metavar="SECONDS",
+                help="only plan scans on replicas whose declared staleness "
+                "bound is at most SECONDS (default: any replica)",
+            )
+
     explain = sub.add_parser("explain", help="optimize and print the plan")
     add_common(explain)
+    add_replicas(explain)
     explain.add_argument(
         "--traditional", action="store_true", help="use the policy-unaware baseline"
     )
@@ -112,8 +158,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="optimize, execute on generated data, print rows")
     add_common(run)
+    add_replicas(run)
     run.add_argument(
         "--scale", type=float, default=0.005, help="TPC-H data scale (default 0.005)"
+    )
+    run.add_argument(
+        "--result-location", default=None, help="deliver the result to this location"
     )
     run.add_argument("--limit", type=int, default=20, help="print at most N rows")
     run.add_argument(
@@ -198,6 +248,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["T", "C", "CR", "CR+A"],
         help="curated policy-expression set (default: CR)",
     )
+    add_replicas(serve)
     serve.add_argument(
         "--scale", type=float, default=0.005, help="TPC-H data scale (default 0.005)"
     )
@@ -327,6 +378,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="audit against policy expressions from FILE (one per line, "
         "'#' comments) instead of a curated --set",
     )
+    add_replicas(audit, planning=False)
 
     policies = sub.add_parser("policies", help="print a curated policy set")
     add_common(policies, with_query=False)
@@ -337,6 +389,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     catalog = build_catalog(scale=1.0)
+    _apply_replicas(catalog, args.replicas)
     network = default_network()
     sql = _resolve_sql(args.query)
     policy_catalog = curated_policies(catalog, args.policy_set)
@@ -346,7 +399,9 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         evaluator = PolicyEvaluator(policy_catalog)
         violations = check_compliance(result.plan, evaluator)
     else:
-        optimizer = CompliantOptimizer(catalog, policy_catalog, network)
+        optimizer = CompliantOptimizer(
+            catalog, policy_catalog, network, max_staleness=args.max_staleness
+        )
         result = optimizer.optimize(sql, result_location=args.result_location)
         violations = []
     print(explain_physical(result.plan, show_rows=True))
@@ -368,14 +423,21 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     catalog, database = build_benchmark(scale=args.scale, stats_scale=1.0)
+    _apply_replicas(catalog, args.replicas)
     network = default_network()
     policy_catalog = curated_policies(catalog, args.policy_set)
     optimizer = CompliantOptimizer(
-        catalog, policy_catalog, network, plan_cache=args.plan_cache
+        catalog,
+        policy_catalog,
+        network,
+        plan_cache=args.plan_cache,
+        max_staleness=args.max_staleness,
     )
     recorder = TraceRecorder() if args.trace is not None else None
     with tracing(recorder) if recorder is not None else nullcontext():
-        result = optimizer.optimize(_resolve_sql(args.query))
+        result = optimizer.optimize(
+            _resolve_sql(args.query), result_location=args.result_location
+        )
         if args.explain_fragments:
             print(explain_fragments(fragment_plan(result.plan)))
             print()
@@ -434,9 +496,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for recovery in output.metrics.recoveries:
             validated = "validated" if recovery.validated else "unvalidated"
             print(
-                f"failover: f{recovery.fragment_index} "
+                f"failover ({recovery.kind}): f{recovery.fragment_index} "
                 f"{recovery.from_site} -> {recovery.to_site} at "
                 f"t={recovery.at_seconds:.3f}s ({validated}; {recovery.reason})",
+                file=sys.stderr,
+            )
+        if output.metrics.replica_failovers:
+            print(
+                f"replica failovers: {output.metrics.replica_failovers} "
+                f"({output.metrics.replica_switches_breaker} breaker-steered, "
+                f"{output.metrics.partial_failures_avoided} partial failures "
+                f"avoided)",
                 file=sys.stderr,
             )
     if args.explain_fragments and parallel:
@@ -459,10 +529,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     requests = load_workload(args.workload, resolve=_resolve_sql)
     catalog, database = build_benchmark(scale=args.scale, stats_scale=1.0)
+    _apply_replicas(catalog, args.replicas)
     network = default_network()
     policy_catalog = curated_policies(catalog, args.policy_set)
     optimizer = CompliantOptimizer(
-        catalog, policy_catalog, network, plan_cache=args.plan_cache
+        catalog,
+        policy_catalog,
+        network,
+        plan_cache=args.plan_cache,
+        max_staleness=args.max_staleness,
     )
     faults = (
         parse_fault_spec(args.faults, locations=catalog.locations)
@@ -539,6 +614,11 @@ def _load_policy_file(catalog, path: str) -> PolicyCatalog:
 
 def _cmd_audit(args: argparse.Namespace) -> int:
     catalog = build_catalog(scale=1.0)
+    # The audit catalog is rebuilt independently of the traced run, so
+    # the replicas the run planned against must be re-registered here —
+    # a replica read the auditor does not know about is, correctly, a
+    # displaced-scan violation.
+    _apply_replicas(catalog, args.replicas)
     if os.path.isfile(args.query):
         # Trace-audit mode: replay a recorded execution against the
         # policy set through the independent compliance auditor.

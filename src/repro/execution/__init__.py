@@ -17,6 +17,7 @@ from .fragments import (
     explain_fragments,
     fragment_plan,
     independent_pairs,
+    scan_sites,
 )
 from .faults import (
     FaultPlan,
@@ -31,6 +32,7 @@ from .recovery import (
     FailoverPlanner,
     RetryPolicy,
     failover_candidates,
+    fragment_scans,
     relocate_fragment,
 )
 from .scheduler import (
@@ -61,6 +63,7 @@ __all__ = [
     "explain_fragments",
     "fragment_plan",
     "independent_pairs",
+    "scan_sites",
     "FaultPlan",
     "FlakyLink",
     "LinkDown",
@@ -71,6 +74,7 @@ __all__ = [
     "FailoverPlanner",
     "RetryPolicy",
     "failover_candidates",
+    "fragment_scans",
     "relocate_fragment",
     "FragmentScheduler",
     "EXECUTOR_BACKENDS",

@@ -105,6 +105,27 @@ class FragmentDAG:
         return n * (n - 1) // 2 - dependent
 
 
+def scan_sites(fragment: Fragment) -> tuple[tuple[str, str, str], ...]:
+    """``(database, table, site)`` of every base-table scan in the
+    fragment's body — the replica identity of the fragment's reads.
+    With replicated catalogs the site may differ from the fragment's
+    table's primary location (it then names the replica being read);
+    the trace payload codec and the auditor both consume this."""
+    from ..plan import TableScan
+
+    cut_ships = {id(entry.ship) for entry in fragment.inputs}
+    found: list[tuple[str, str, str]] = []
+    stack = [fragment.root]
+    while stack:
+        node = stack.pop()
+        if id(node) in cut_ships:
+            continue
+        if isinstance(node, TableScan):
+            found.append((node.database, node.table, node.location))
+        stack.extend(node.children())
+    return tuple(sorted(found))
+
+
 def fragment_plan(plan: PhysicalPlan) -> FragmentDAG:
     """Cut ``plan`` at every Ship edge into a :class:`FragmentDAG`."""
     dag = FragmentDAG()
@@ -164,7 +185,13 @@ def explain_fragments(dag: FragmentDAG, show_rows: bool = False) -> str:
             if fragment.output is not None and fragment.consumer is not None
             else " produces the query result"
         )
-        lines.append(f"Fragment f{fragment.index} @ {fragment.location}{feeds}")
+        scans = scan_sites(fragment)
+        reads = (
+            " reading " + ", ".join(f"{db}.{table}@{site}" for db, table, site in scans)
+            if scans
+            else ""
+        )
+        lines.append(f"Fragment f{fragment.index} @ {fragment.location}{feeds}{reads}")
 
         def prune(node: PhysicalPlan) -> str | None:
             producer = by_ship.get(id(node))

@@ -105,6 +105,10 @@ class RecoveryRecord:
     #: is only False when the scheduler runs without a compliance guard,
     #: e.g. for baseline plans with no policies registered).
     validated: bool = False
+    #: ``"replica"`` when the fragment scans a base table and moved to a
+    #: site holding a compliant replica of it; ``"replacement"`` for the
+    #: classic ℰ-restricted re-placement of a scan-free fragment.
+    kind: str = "replacement"
 
 
 @dataclass
@@ -156,6 +160,16 @@ class ExecutionMetrics:
     site_clock_seconds: dict[str, float] = field(default_factory=dict)
     #: Failovers performed during this execution (fault injection only).
     recoveries: list[RecoveryRecord] = field(default_factory=list)
+    #: Failovers that moved a scan-bearing fragment to a compliant
+    #: replica site (the ``kind == "replica"`` subset of recoveries).
+    replica_failovers: int = 0
+    #: Replica failovers triggered by an open circuit breaker on the
+    #: fragment's input/output links (fast-fail steering).
+    replica_switches_breaker: int = 0
+    #: Replica failovers of fragments whose own scan site died — without
+    #: a replica these were guaranteed ``PartialFailure``s (a scan's ℰ
+    #: is a singleton without replicas, so no re-placement exists).
+    partial_failures_avoided: int = 0
     #: Set when the query degraded instead of completing; rows are empty.
     partial_failure: PartialFailure | None = None
 

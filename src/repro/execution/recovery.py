@@ -22,11 +22,19 @@ Two recovery mechanisms layer on top of the fault model
   candidate placement is re-validated with
   :func:`repro.optimizer.validator.check_recovery_placement` before it
   is accepted — recovery never trades compliance for availability.
-  Fragments that scan tables at the dead site (ℰ = {dead site}) and
-  result-delivery fragments (the user chose the destination) are
-  pinned: with no legal candidate the query degrades to a typed
-  partial-failure result instead of either crashing or shipping data
-  somewhere the dataflow policies forbid.
+  Fragments that scan *non-replicated* tables at the dead site
+  (ℰ = {dead site}) and result-delivery fragments (the user chose the
+  destination) are pinned: with no legal candidate the query degrades
+  to a typed partial-failure result instead of either crashing or
+  shipping data somewhere the dataflow policies forbid.
+
+* **Replica failover** — when the catalog declares replicas
+  (:meth:`repro.catalog.Catalog.add_replica`), a scan's ℰ includes every
+  *compliant* replica site, so a scan-bearing fragment whose site died
+  (or whose links opened a circuit breaker) fails over to an alternate
+  replica — the planner's first resort, taken before re-placement and
+  long before a ``PartialFailure``.  Such failovers carry
+  ``kind == "replica"`` and are still re-validated like any other.
 """
 
 from __future__ import annotations
@@ -140,8 +148,12 @@ def failover_candidates(
 ) -> tuple[str, ...]:
     """Legal backup sites for ``fragment``: ⋂ℰ over its body operators.
 
-    Table scans carry ℰ = {home site}, so fragments reading data at a
-    crashed site are pinned automatically (empty result).  A fragment
+    Table scans carry ℰ = {home site} ∪ {compliant replica sites}, so
+    fragments reading a *non-replicated* table at a crashed site are
+    pinned automatically (empty result) while replicated ones fail over
+    to an alternate compliant replica — the planner's first resort,
+    tried before any re-placement and long before a partial failure.
+    A fragment
     whose root is a Ship is a result-delivery relay — the destination
     was chosen by the caller, never moved.  When trait annotations are
     absent (hand-built or baseline plans) the fallback is
@@ -177,6 +189,24 @@ def failover_candidates(
     return tuple(sorted(legal))
 
 
+def fragment_scans(fragment: Fragment) -> bool:
+    """Does the fragment's body (excluding cut input Ships) scan a base
+    table?  Moving such a fragment means reading a *replica* — only
+    possible when the catalog declares one and the policies admit it
+    (replica sites are in the scan's ℰ, so the candidate set encodes
+    legality already); without replicas these fragments are pinned."""
+    _body, cut = fragment_body_ids(fragment)
+    stack: list[PhysicalPlan] = [fragment.root]
+    while stack:
+        node = stack.pop()
+        if id(node) in cut:
+            continue
+        if isinstance(node, TableScan):
+            return True
+        stack.extend(node.children())
+    return False
+
+
 @dataclass
 class Failover:
     """A validated re-placement of one failed fragment."""
@@ -190,20 +220,53 @@ class Failover:
     #: Whether a policy evaluator re-validated the placement (False only
     #: when the scheduler runs without a compliance guard).
     validated: bool = False
+    #: ``"replica"`` when the fragment scans a table (the new site reads
+    #: a compliant replica); ``"replacement"`` for scan-free fragments.
+    kind: str = "replacement"
 
 
 class FailoverPlanner:
-    """Chooses and validates backup placements for failed fragments."""
+    """Chooses and validates backup placements for failed fragments.
+
+    ``breakers`` (anything with ``allow(source, target, when) -> bool``,
+    e.g. :class:`repro.server.breaker.BreakerRegistry`) steers candidate
+    ranking away from sites whose input/output links are currently
+    refused by an open circuit breaker — such a placement would only
+    fast-fail again."""
 
     def __init__(
         self,
         network: NetworkModel,
         evaluator=None,  # PolicyEvaluator | None
         all_locations: frozenset[str] | None = None,
+        breakers=None,  # LinkGovernor | None
     ) -> None:
         self.network = network
         self.evaluator = evaluator
         self.all_locations = all_locations
+        self.breakers = breakers
+
+    def _open_links(
+        self, dag: FragmentDAG, fragment: Fragment, site: str, at: float
+    ) -> int:
+        """How many of the fragment's links would land on a link the
+        breaker registry currently refuses, were it placed at ``site``."""
+        if self.breakers is None:
+            return 0
+        open_count = 0
+        for entry in fragment.inputs:
+            producer = dag.fragments[entry.producer]
+            if producer.location != site and not self.breakers.allow(
+                producer.location, site, at
+            ):
+                open_count += 1
+        if fragment.output is not None and fragment.consumer is not None:
+            consumer = dag.fragments[fragment.consumer]
+            if consumer.location != site and not self.breakers.allow(
+                site, consumer.location, at
+            ):
+                open_count += 1
+        return open_count
 
     def _relocation_cost(self, dag: FragmentDAG, fragment: Fragment, site: str) -> float:
         """Estimated extra shipping after moving ``fragment`` to ``site``
@@ -229,16 +292,27 @@ class FailoverPlanner:
         index: int,
         unavailable: frozenset[str],
         reason: str,
+        at: float = 0.0,
     ) -> Failover | None:
         """The cheapest compliant re-placement of fragment ``index``, or
         ``None`` when every candidate is illegal, unreachable, or fails
-        re-validation (→ the query degrades to a partial failure)."""
+        re-validation (→ the query degrades to a partial failure).
+
+        ``at`` is the simulated instant the failure was detected; with a
+        breaker registry installed, candidates whose links are refused at
+        that instant sort last (but remain candidates — an open link may
+        still be the only compliant option)."""
         fragment = dag.fragments[index]
         candidates = failover_candidates(fragment, unavailable, self.all_locations)
         ranked = sorted(
             candidates,
-            key=lambda site: (self._relocation_cost(dag, fragment, site), site),
+            key=lambda site: (
+                self._open_links(dag, fragment, site, at),
+                self._relocation_cost(dag, fragment, site),
+                site,
+            ),
         )
+        kind = "replica" if fragment_scans(fragment) else "replacement"
         for site in ranked:
             candidate_plan = relocate_fragment(plan, fragment, site)
             validated = False
@@ -262,5 +336,6 @@ class FailoverPlanner:
                 plan=candidate_plan,
                 dag=new_dag,
                 validated=validated,
+                kind=kind,
             )
         return None

@@ -262,6 +262,7 @@ class _ChaosRun:
             scheduler.network,
             evaluator=scheduler.compliance_guard,
             all_locations=frozenset(scheduler.database.catalog.locations),
+            breakers=scheduler.breakers,
         )
         self.results: dict[int, tuple[RowBatch, float]] = {}
         self.fragment_metrics: dict[int, ExecutionMetrics] = {
@@ -279,6 +280,13 @@ class _ChaosRun:
         self.failure: PartialFailure | None = None
         #: Transfers refused outright by an open circuit breaker.
         self.breaker_fast_fails = 0
+        #: Failovers that switched a scan-bearing fragment to a
+        #: compliant replica site (kind == "replica"), and its subsets:
+        #: breaker-triggered switches and saves of fragments whose own
+        #: scan site died (guaranteed PartialFailures without replicas).
+        self.replica_failovers = 0
+        self.replica_switches_breaker = 0
+        self.partial_failures_avoided = 0
         #: Sites a fragment has already failed at (never retried).
         self._excluded: dict[int, set[str]] = {}
         #: Trace recorder resolved once on the coordinator thread (the
@@ -286,8 +294,10 @@ class _ChaosRun:
         self.recorder = current_recorder()
         #: Encoded payload descriptor per producer fragment index.  A
         #: payload depends only on the fragment's logical content and
-        #: its (immovable) scan sites, so the cache survives failover
-        #: re-placements and is shared by retry re-deliveries.
+        #: its scan sites, so the cache survives *replacement*-kind
+        #: failovers (scan sites unchanged) and is shared by retry
+        #: re-deliveries — but a *replica*-kind failover moves the scan
+        #: itself, so :meth:`_failover` drops that fragment's entry.
         self._payload_cache: dict[int, dict] = {}
 
     # -- worker side -----------------------------------------------------------
@@ -613,12 +623,33 @@ class _ChaosRun:
             self.scheduler.faults.crashed_sites(detected) | frozenset(excluded)
         )
         failover = self.planner.plan_failover(
-            self.plan, self.dag, index, frozenset(unavailable), reason=str(error)
+            self.plan,
+            self.dag,
+            index,
+            frozenset(unavailable),
+            reason=str(error),
+            at=detected,
         )
         if failover is None:
             raise error
         self.plan = failover.plan
         self.dag = failover.dag
+        if failover.kind == "replica":
+            # The scan moved: the payload descriptor (which records the
+            # replica site each scan reads) must be re-derived, or the
+            # trace would misreport post-failover re-reads.
+            self._payload_cache.pop(index, None)
+            self.replica_failovers += 1
+            if isinstance(error, CircuitOpenError):
+                self.replica_switches_breaker += 1
+            if (
+                isinstance(error, SiteUnavailableError)
+                and error.site == failover.from_site
+            ):
+                # The fragment's own scan site died.  Without a replica
+                # its ℰ is a singleton, so no re-placement could exist —
+                # this failover avoided a guaranteed PartialFailure.
+                self.partial_failures_avoided += 1
         self.recoveries.append(
             RecoveryRecord(
                 fragment_index=index,
@@ -627,6 +658,7 @@ class _ChaosRun:
                 reason=failover.reason,
                 at_seconds=detected,
                 validated=failover.validated,
+                kind=failover.kind,
             )
         )
         if self.recorder is not None:
@@ -638,6 +670,7 @@ class _ChaosRun:
                     target=failover.to_site,
                     reason=failover.reason,
                     validated=failover.validated,
+                    failover_kind=failover.kind,
                 ),
                 stable=False,
             )
@@ -704,6 +737,9 @@ class _ChaosRun:
         merged.recoveries = list(self.recoveries)
         merged.partial_failure = self.failure
         merged.breaker_fast_fails = self.breaker_fast_fails
+        merged.replica_failovers = self.replica_failovers
+        merged.replica_switches_breaker = self.replica_switches_breaker
+        merged.partial_failures_avoided = self.partial_failures_avoided
         merged.start_at_seconds = self.start_at
         if self.failure is not None:
             merged.makespan_seconds = max(

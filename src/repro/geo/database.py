@@ -4,6 +4,14 @@ Holds the actual rows of every stored table fragment, keyed by
 ``(database, table)``.  This plays the role of the paper's per-location
 DBMS gateways: the execution engine reads table data from here and the
 SHIP operator accounts for bytes crossing location borders.
+
+Replicated tables (:meth:`repro.catalog.Catalog.add_replica`) need no
+data-layer support: the key is location-independent, so a ``TableScan``
+placed at a replica site reads exactly the same rows as one at the
+primary — the simulation's stand-in for a perfectly synchronized
+replica, and the reason replica failover is row-identical by
+construction (declared staleness bounds model *allowed* lag; the
+simulated copies never actually diverge).
 """
 
 from __future__ import annotations

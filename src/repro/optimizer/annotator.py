@@ -110,12 +110,22 @@ class PlanAnnotator:
         all_locations: frozenset[str],
         rules: list[TransformationRule] | None = None,
         max_expressions: int = 50_000,
+        catalog=None,  # Catalog | None — enables replica-aware AR1
+        max_staleness: float | None = None,
     ) -> None:
         self.cost_model = cost_model
         self.evaluator = evaluator
         self.all_locations = all_locations
         self.rules = rules if rules is not None else default_rules()
         self.max_expressions = max_expressions
+        self.catalog = catalog
+        self.max_staleness = max_staleness
+        if catalog is not None and evaluator is not None:
+            from ..policy.replicas import ReplicaResolver
+
+            self._replica_resolver = ReplicaResolver(catalog, evaluator)
+        else:
+            self._replica_resolver = None
 
     @property
     def compliant_mode(self) -> bool:
@@ -192,8 +202,12 @@ class PlanAnnotator:
         plan = mexpr.plan
         if isinstance(plan, LogicalScan):
             # AR1 — and plain physics in the baseline too: a tablescan can
-            # only run where its table is stored.
-            execution = frozenset([plan.location])
+            # only run where its table is stored — extended to sites that
+            # hold a *compliant* replica of the fragment (reading there is
+            # policy-equivalent to shipping the table there, so ℰ may
+            # legally include them; 𝒮 = ℰ ∪ grant does not widen because
+            # compliant replica sites are already in the grant).
+            execution = frozenset([plan.location]) | self._replica_sites(plan)
         elif self.compliant_mode:
             execution = self.all_locations
             for child in combo:  # AR2
@@ -217,6 +231,20 @@ class PlanAnnotator:
             mexpr=mexpr,
             children=combo,
         )
+
+    def _replica_sites(self, scan: LogicalScan) -> frozenset[str]:
+        """Alternate sites the scan may read: compliant replicas in
+        compliant mode, every declared replica in the baseline — both
+        filtered by the annotator's staleness requirement."""
+        if self._replica_resolver is not None:
+            return self._replica_resolver.compliant_sites(
+                scan.database, scan.table, self.max_staleness
+            )
+        if self.catalog is not None:
+            return self.catalog.replica_sites(
+                scan.database, scan.table, self.max_staleness
+            )
+        return frozenset()
 
     def _choose_root_entry(
         self, entries: list[TraitEntry], result_location: str | None

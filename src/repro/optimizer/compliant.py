@@ -72,6 +72,7 @@ class CompliantOptimizer:
         max_expressions: int = 50_000,
         site_objective: str = "total",
         plan_cache: PlanCache | bool = False,
+        max_staleness: float | None = None,
     ) -> None:
         self.catalog = catalog
         self.policies = policies
@@ -79,12 +80,17 @@ class CompliantOptimizer:
         self.cost_model = cost_model or CostModel(catalog)
         self.binder = Binder(catalog)
         self.evaluator = PolicyEvaluator(policies)
+        #: Only replicas lagging at most this many seconds are considered
+        #: (``None`` = any declared replica; the primary always qualifies).
+        self.max_staleness = max_staleness
         self._annotator = PlanAnnotator(
             cost_model=self.cost_model,
             evaluator=self.evaluator,
             all_locations=frozenset(catalog.locations),
             rules=default_rules(allow_cross_products),
             max_expressions=max_expressions,
+            catalog=catalog,
+            max_staleness=max_staleness,
         )
         self._site_selector = SiteSelector(self.network, objective=site_objective)
         #: Optional compliant plan cache (see :mod:`.plancache`).  Off by
@@ -118,7 +124,9 @@ class CompliantOptimizer:
         if self.plan_cache is not None:
             start = time.perf_counter()
             prepared = self.plan_cache.prepare(plan)
-            entry = self.plan_cache.lookup(prepared, result_location)
+            entry = self.plan_cache.lookup(
+                prepared, result_location, variant=self.max_staleness
+            )
             if entry is not None:
                 physical = self.plan_cache.rebind(entry, prepared)
                 result = OptimizationResult(
@@ -181,6 +189,7 @@ class CompliantOptimizer:
                     annotate=annotated,
                     selection=selection,
                     dependencies=dependencies,
+                    variant=self.max_staleness,
                 )
 
         result = OptimizationResult(

@@ -134,8 +134,14 @@ class PreparedQuery:
     signature: tuple[DataType, ...]
     bindings: tuple[Literal, ...]
 
-    def key(self, result_location: str | None) -> Hashable:
-        return (self.shape, self.signature, result_location)
+    def key(
+        self, result_location: str | None, variant: Hashable = None
+    ) -> Hashable:
+        """``variant`` separates entries optimized under different
+        replica-visibility settings (e.g. ``max_staleness``): a plan
+        located with lax staleness may read a replica a strict query
+        must not."""
+        return (self.shape, self.signature, result_location, variant)
 
 
 @dataclass
@@ -184,6 +190,11 @@ class CacheEntry:
     #: Catalog version the entry is known valid at (refreshed on every
     #: successful revalidation, keeping changed_since windows short).
     version: int
+    #: Schema-catalog (replica-set) version the plan was located at.  A
+    #: located plan pins each scan to one concrete site, so *any*
+    #: replica add/drop invalidates: a drop may orphan a pinned replica,
+    #: an add may make the pinned choice non-optimal.
+    catalog_version: int = 0
     #: Whether the stored template passed the independent compliance
     #: validator at insert time.  Free constants cannot change
     #: compliance (see module docstring), so the verdict transfers to
@@ -223,14 +234,25 @@ class PlanCache:
     # -- lookup / store ---------------------------------------------------------
 
     def lookup(
-        self, prepared: PreparedQuery, result_location: str | None = None
+        self,
+        prepared: PreparedQuery,
+        result_location: str | None = None,
+        variant: Hashable = None,
     ) -> CacheEntry | None:
         """Return the valid entry for ``prepared``, or ``None`` (miss).
-        Stale entries (a dependency was removed/replaced) are dropped
-        here and counted as invalidations."""
-        key = prepared.key(result_location)
+        Stale entries (a dependency was removed/replaced, or the
+        replica set changed under the located plan) are dropped here and
+        counted as invalidations."""
+        key = prepared.key(result_location, variant)
         entry = self._entries.get(key)
         if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.catalog_version != self.policies.catalog.version:
+            # Replica set changed: the cached plan may pin a scan to a
+            # dropped replica, or miss a cheaper new one.
+            del self._entries[key]
+            self.stats.invalidations += 1
             self.stats.misses += 1
             return None
         changed = self.policies.changed_since(entry.version)
@@ -256,6 +278,7 @@ class PlanCache:
         annotate: object,
         selection: object,
         dependencies: set[int] | frozenset[int],
+        variant: Hashable = None,
     ) -> CacheEntry:
         validated = False
         if self.evaluator is not None:
@@ -270,10 +293,12 @@ class PlanCache:
             selection=selection,
             dependencies=frozenset(dependencies),
             version=self.policies.version,
+            catalog_version=self.policies.catalog.version,
             validated=validated,
         )
-        self._entries[prepared.key(result_location)] = entry
-        self._entries.move_to_end(prepared.key(result_location))
+        key = prepared.key(result_location, variant)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
         self.stats.stores += 1
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

@@ -47,6 +47,7 @@ class TraditionalOptimizer:
             all_locations=frozenset(catalog.locations),
             rules=default_rules(allow_cross_products),
             max_expressions=max_expressions,
+            catalog=catalog,  # replicas: baseline reads any declared copy
         )
         self._site_selector = SiteSelector(self.network, objective=site_objective)
 

@@ -123,6 +123,45 @@ def _grant(evaluator: PolicyEvaluator, logical: LogicalPlan) -> frozenset[str]:
 # -- content-based check -------------------------------------------------------
 
 
+def _scan_site_violation(
+    node: TableScan, evaluator: PolicyEvaluator
+) -> Violation | None:
+    """Is the scan's site a legal *source* for its fragment?
+
+    The primary location is always legal; any other site must hold a
+    registered replica whose site is in 𝒜 of the bare full-table scan
+    (the replica-compliance rule — reading there is policy-equivalent to
+    shipping the whole table there).  Staleness is deliberately not
+    checked: it is an optimizer-level freshness preference, not a policy
+    property, so failover may use any *compliant* replica."""
+    from ..policy.replicas import ReplicaResolver
+
+    catalog = evaluator.policies.catalog
+    try:
+        stored = catalog.stored_table(node.database, node.table)
+    except Exception:
+        return None  # unknown fragment: nothing to validate against
+    if node.location == stored.location:
+        return None
+    replica_sites = catalog.replica_sites(node.database, node.table)
+    if node.location not in replica_sites:
+        return Violation(
+            node,
+            f"scans {node.database}.{node.table} at {node.location!r} but "
+            f"the table lives at {stored.location!r} and has no replica "
+            f"there",
+        )
+    resolver = ReplicaResolver(catalog, evaluator)
+    if node.location not in resolver.full_scan_grant(node.database, node.table):
+        return Violation(
+            node,
+            f"reads the replica of {node.database}.{node.table} at "
+            f"{node.location!r}, which the dataflow policies do not admit "
+            f"as a destination for the table",
+        )
+    return None
+
+
 def check_compliance(
     plan: PhysicalPlan, evaluator: PolicyEvaluator
 ) -> list[Violation]:
@@ -144,6 +183,12 @@ def check_compliance(
                 )
             return allowed
         if isinstance(node, TableScan):
+            # The scan's output is available at its own site; whether
+            # that site was a legal *source* (primary or compliant
+            # replica) is checked separately.
+            violation = _scan_site_violation(node, evaluator)
+            if violation is not None:
+                violations.append(violation)
             executable = frozenset([node.location])
         else:
             executable = all_locations
@@ -261,22 +306,11 @@ def check_compliance_strict(
         return below
 
     descend(plan)
-    # Condition c1: tablescans must run at their table's location.
+    # Condition c1: tablescans must run where their table is stored —
+    # the primary location or a registered *compliant* replica site.
     for node in plan.walk():
         if isinstance(node, TableScan):
-            try:
-                stored = evaluator.policies.catalog.stored_table(
-                    node.database, node.table
-                )
-            except Exception:
-                continue
-            if stored.location != node.location:
-                violations.append(
-                    Violation(
-                        node,
-                        f"scans {node.database}.{node.table} at "
-                        f"{node.location!r} but the table lives at "
-                        f"{stored.location!r}",
-                    )
-                )
+            violation = _scan_site_violation(node, evaluator)
+            if violation is not None:
+                violations.append(violation)
     return violations

@@ -5,6 +5,7 @@ from .parser import parse_policy
 from .catalog import PolicyCatalog
 from .localquery import Lineage, LocalQuery, describe_local_query
 from .evaluator import PolicyEvalStats, PolicyEvaluator
+from .replicas import ReplicaResolver
 from .negation import (
     NegativePolicy,
     apply_closed_world,
@@ -22,6 +23,7 @@ __all__ = [
     "describe_local_query",
     "PolicyEvalStats",
     "PolicyEvaluator",
+    "ReplicaResolver",
     "NegativePolicy",
     "apply_closed_world",
     "compile_negative_policies",

@@ -1,0 +1,103 @@
+"""Replica compliance: which alternate sites may a scan legally read?
+
+A replica of ``db.table`` at site ``L`` is **compliant** iff ``L`` is in
+the policy grant 𝒜 of the *bare full-table scan* of that fragment —
+i.e. the policies already allow shipping every raw column of the table
+to ``L``.  Reading at ``L`` is then indistinguishable (policy-wise) from
+shipping the table there, so no downstream placement decision can be
+widened incorrectly: by grant monotonicity, 𝒜(full scan) ⊆ 𝒜(q) for
+every local query ``q`` over the table (``q`` exposes a subset of the
+columns, possibly aggregated, under a predicate — each of which can only
+*grow* the grant), so any plan legal when reading the primary stays
+legal when reading a compliant replica.
+
+The resolver caches per-fragment verdicts keyed by the pair of monotone
+versions ``(policies.version, catalog.version)``, so policy hot reloads
+and replica add/drop both invalidate precisely.
+"""
+
+from __future__ import annotations
+
+from ..catalog import Catalog
+from ..expr import BaseColumn
+from ..plan import Field, LogicalScan
+from .evaluator import PolicyEvaluator
+from .localquery import describe_local_query
+
+
+class ReplicaResolver:
+    """Derives the compliant replica sites of stored table fragments."""
+
+    def __init__(self, catalog: Catalog, evaluator: PolicyEvaluator) -> None:
+        self.catalog = catalog
+        self.evaluator = evaluator
+        # (database, table) -> grant of the bare full-table scan; keyed
+        # caches are dropped whenever either version moves.
+        self._grants: dict[tuple[str, str], frozenset[str]] = {}
+        self._versions: tuple[int, int] | None = None
+
+    def _fresh(self) -> None:
+        versions = (self.evaluator.policies.version, self.catalog.version)
+        if versions != self._versions:
+            self._grants.clear()
+            self._versions = versions
+
+    def full_scan_grant(self, database: str, table: str) -> frozenset[str]:
+        """𝒜 of the bare full-table scan of the fragment: the locations
+        every raw column of ``db.table`` may be shipped to."""
+        self._fresh()
+        key = (database, table.lower())
+        cached = self._grants.get(key)
+        if cached is None:
+            cached = self.evaluator.evaluate(
+                describe_local_query(_bare_scan(self.catalog, database, table))
+            )
+            self._grants[key] = cached
+        return cached
+
+    def compliant_sites(
+        self,
+        database: str,
+        table: str,
+        max_staleness: float | None = None,
+    ) -> frozenset[str]:
+        """Replica sites of ``db.table`` that are compliant to read and
+        within ``max_staleness`` (the primary is not included — it is
+        always legal and already carried separately)."""
+        candidates = self.catalog.replica_sites(database, table, max_staleness)
+        if not candidates:
+            return frozenset()
+        return candidates & self.full_scan_grant(database, table)
+
+    def all_sites(
+        self,
+        database: str,
+        table: str,
+        max_staleness: float | None = None,
+    ) -> frozenset[str]:
+        """All declared replica sites within ``max_staleness``, compliant
+        or not — the traditional (non-compliant) optimizer's view."""
+        return self.catalog.replica_sites(database, table, max_staleness)
+
+
+def _bare_scan(catalog: Catalog, database: str, table: str) -> LogicalScan:
+    """A full-table scan of the fragment exposing every raw column, built
+    exactly like the binder's so 𝒜 sees identical lineage."""
+    stored = catalog.stored_table(database, table)
+    name = stored.schema.name.lower()
+    fields = tuple(
+        Field(
+            name=f"{name}.{col.name.lower()}",
+            dtype=col.dtype,
+            base=BaseColumn(database, name, col.name.lower()),
+            width=col.width,
+        )
+        for col in stored.schema.columns
+    )
+    return LogicalScan(
+        table=name,
+        database=database,
+        location=stored.location,
+        alias=name,
+        scan_fields=fields,
+    )

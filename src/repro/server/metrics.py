@@ -48,6 +48,14 @@ class ServerMetrics:
     breaker_trips: int = 0
     #: Compliance-preserving failovers across all executed queries.
     recoveries: int = 0
+    #: Failovers that switched a scan-bearing fragment to a compliant
+    #: replica site (a subset of :attr:`recoveries`).
+    replica_failovers: int = 0
+    #: Replica failovers triggered by an open circuit breaker.
+    replica_switches_breaker: int = 0
+    #: Replica failovers of fragments whose own scan site died —
+    #: guaranteed ``PartialFailure``s in a replica-free catalog.
+    partial_failures_avoided: int = 0
     #: Plan-cache lookups during this run that reused a cached template
     #: (0 when the optimizer carries no plan cache).
     plan_cache_hits: int = 0
@@ -95,6 +103,13 @@ class ServerMetrics:
             f"{self.breaker_fast_fails} breaker fast-fails, "
             f"{self.breaker_trips} breaker trips, "
             f"{self.recoveries} failovers"
+            + (
+                f" ({self.replica_failovers} to replicas, "
+                f"{self.replica_switches_breaker} breaker-steered, "
+                f"{self.partial_failures_avoided} partial failures avoided)"
+                if self.replica_failovers
+                else ""
+            )
             + (
                 f"; plan cache {self.plan_cache_hits} hits / "
                 f"{self.plan_cache_misses} misses, "

@@ -445,6 +445,13 @@ class QueryServer:
                 metrics.transfer_attempts += outcome.metrics.transfer_attempts
                 metrics.breaker_fast_fails += outcome.metrics.breaker_fast_fails
                 metrics.recoveries += len(outcome.metrics.recoveries)
+                metrics.replica_failovers += outcome.metrics.replica_failovers
+                metrics.replica_switches_breaker += (
+                    outcome.metrics.replica_switches_breaker
+                )
+                metrics.partial_failures_avoided += (
+                    outcome.metrics.partial_failures_avoided
+                )
         metrics.finished_at_seconds = last_event
         if self.breakers is not None:
             metrics.breaker_trips = self.breakers.total_trips()

@@ -29,10 +29,16 @@ fragments, and a corrupted placement cannot launder data by moving the
 operators along with it.
 
 One placement fact *is* checked against the schema: every scan in every
-payload must sit at the site its stored table actually lives at
-(``displaced-scan``).  A runtime that "relocated" a scan would read the
-table remotely without any SHIP event ever crossing the wire — the one
-movement a transfer-level audit alone could not see.
+payload must sit at a site legally holding the data — the stored
+table's home, or a *registered replica* whose site the auditor
+independently re-confirms inside 𝒜 of the bare full-table scan.  A
+scan at an unregistered site is a ``displaced-scan`` (a runtime that
+"relocated" a scan would read the table remotely without any SHIP
+event ever crossing the wire — the one movement a transfer-level audit
+alone could not see); a scan at a registered replica the policies do
+not admit is a ``non-compliant-replica``.  Post-failover re-reads are
+covered identically: a replica-kind failover re-derives the payload
+descriptor, so the replica actually read always shows up here.
 """
 
 from __future__ import annotations
@@ -54,7 +60,9 @@ class ComplianceViolation:
 
     query: int
     at: float
-    category: str  # "forbidden-destination" | "displaced-scan" | "unauditable"
+    #: "forbidden-destination" | "displaced-scan" |
+    #: "non-compliant-replica" | "unauditable"
+    category: str
     source: str
     target: str
     permitted: tuple[str, ...]
@@ -109,6 +117,12 @@ class ComplianceAuditor:
         #: permitted-set cache keyed by canonical payload JSON — retry
         #: and failover attempts re-ship the same payload.
         self._permitted_cache: dict[str, frozenset[str]] = {}
+        #: Independent replica re-derivation: per (database, table) the
+        #: 𝒜 grant of the bare full-table scan, used to confirm that a
+        #: registered replica's site was a permitted source.
+        from ..policy.replicas import ReplicaResolver
+
+        self._replicas = ReplicaResolver(policies.catalog, self.evaluator)
 
     # -- the permitted-location set of a payload --------------------------------
 
@@ -212,8 +226,14 @@ class ComplianceAuditor:
         report: AuditReport,
         seen_scans: set[tuple[int, str, str, str]],
     ) -> None:
-        """Flag payload scans claiming a site other than the stored
-        table's home (deduplicated per query and scan)."""
+        """Flag payload scans claiming an illegal source site
+        (deduplicated per query and scan).
+
+        Three-way verdict per scan: the stored table's home is always
+        legal; a *registered* replica site is legal iff the auditor's
+        own Algorithm-1 run over the bare full-table scan admits it
+        (``non-compliant-replica`` otherwise); any other site is a
+        ``displaced-scan``."""
         for node in payload.walk():
             if not isinstance(node, LogicalScan):
                 continue
@@ -229,6 +249,30 @@ class ComplianceAuditor:
             if dedup in seen_scans:
                 continue
             seen_scans.add(dedup)
+            replica_sites = self.policies.catalog.replica_sites(
+                node.database, node.table
+            )
+            if node.location in replica_sites:
+                grant = self._replicas.full_scan_grant(node.database, node.table)
+                if node.location in grant:
+                    continue  # compliant replica read — permitted source
+                report.violations.append(
+                    ComplianceViolation(
+                        query=event.query,
+                        at=event.at,
+                        category="non-compliant-replica",
+                        source=stored.location,
+                        target=node.location,
+                        permitted=tuple(sorted(grant)),
+                        message=(
+                            f"payload reads the replica of "
+                            f"{node.database}.{node.table} at "
+                            f"{node.location!r}, but the dataflow policies "
+                            f"only admit the table at {sorted(grant)}"
+                        ),
+                    )
+                )
+                continue
             report.violations.append(
                 ComplianceViolation(
                     query=event.query,
@@ -236,12 +280,12 @@ class ComplianceAuditor:
                     category="displaced-scan",
                     source=stored.location,
                     target=node.location,
-                    permitted=(stored.location,),
+                    permitted=(stored.location, *sorted(replica_sites)),
                     message=(
                         f"payload scans {node.database}.{node.table} at "
                         f"{node.location!r} but the table lives at "
-                        f"{stored.location!r} — data was read across a "
-                        f"border without a SHIP"
+                        f"{stored.location!r} and has no replica there — "
+                        f"data was read across a border without a SHIP"
                     ),
                 )
             )

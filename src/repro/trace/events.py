@@ -152,6 +152,11 @@ class RecoveryEvent(TraceEvent):
     #: Whether the new placement passed the recovery compliance check
     #: (False only when the scheduler runs without a compliance guard).
     validated: bool = False
+    #: ``"replica"`` when a scan-bearing fragment moved to a compliant
+    #: replica site; ``"replacement"`` for classic ℰ-restricted
+    #: re-placement.  Named ``failover_kind`` because ``kind`` is the
+    #: event-type tag; defaults keep pre-replica traces parseable.
+    failover_kind: str = "replacement"
 
 
 @dataclass

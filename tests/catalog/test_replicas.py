@@ -1,0 +1,109 @@
+"""Replica declarations: the dataclass, the CLI spec grammar, and the
+catalog's add/drop/version/staleness bookkeeping."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, Replica, TableSchema, parse_replica_spec
+from repro.datatypes import DataType
+from repro.errors import CatalogError
+
+
+def build_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.add_database("db1", "home")
+    catalog.add_database("db2", "near")
+    catalog.add_database("db3", "far")
+    catalog.add_table(
+        "db1",
+        TableSchema(
+            "t",
+            (Column("k", DataType.INTEGER), Column("v", DataType.INTEGER)),
+            primary_key=("k",),
+        ),
+        row_count=10,
+    )
+    return catalog
+
+
+class TestReplica:
+    def test_describe_with_and_without_staleness(self):
+        assert Replica("db1", "t", "near").describe() == "db1.t@near"
+        assert Replica("db1", "t", "near", 0.5).describe() == "db1.t@near+0.5"
+
+    def test_negative_staleness_rejected(self):
+        with pytest.raises(CatalogError, match="staleness"):
+            Replica("db1", "t", "near", -1.0)
+
+
+class TestParseReplicaSpec:
+    def test_single_entry(self):
+        (replica,) = parse_replica_spec("db1.t@near")
+        assert replica == Replica("db1", "t", "near", 0.0)
+
+    def test_multiple_entries_with_staleness_and_whitespace(self):
+        replicas = parse_replica_spec(" db1.t@near+0.5 ; db2.U@far , db1.t@far;")
+        assert replicas == [
+            Replica("db1", "t", "near", 0.5),
+            Replica("db2", "u", "far", 0.0),  # table lowercased
+            Replica("db1", "t", "far", 0.0),
+        ]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "db1.t",  # no @site
+            "t@near",  # unqualified table
+            "db1.t@",  # empty site
+            ".t@near",  # empty database
+            "db1.t@near+fast",  # non-numeric staleness
+        ],
+    )
+    def test_malformed_entries_rejected(self, bad):
+        with pytest.raises(CatalogError, match="replica spec|staleness"):
+            parse_replica_spec(bad)
+
+
+class TestCatalogReplicas:
+    def test_add_and_list(self):
+        catalog = build_catalog()
+        assert catalog.replicas("db1", "t") == []
+        assert catalog.replica_sites("db1", "t") == frozenset()
+        catalog.add_replica("db1", "t", "near")
+        catalog.add_replica("db1", "t", "far", staleness_seconds=2.0)
+        assert {r.site for r in catalog.replicas("db1", "t")} == {"near", "far"}
+        assert catalog.replica_sites("db1", "t") == frozenset({"near", "far"})
+        assert len(catalog.all_replicas()) == 2
+
+    def test_staleness_filter(self):
+        catalog = build_catalog()
+        catalog.add_replica("db1", "t", "near", staleness_seconds=0.5)
+        catalog.add_replica("db1", "t", "far", staleness_seconds=5.0)
+        assert catalog.replica_sites("db1", "t", max_staleness=1.0) == frozenset(
+            {"near"}
+        )
+        assert catalog.replica_sites("db1", "t", max_staleness=0.0) == frozenset()
+        assert catalog.replica_sites("db1", "t", max_staleness=None) == frozenset(
+            {"near", "far"}
+        )
+
+    def test_version_bumps_on_add_and_drop(self):
+        catalog = build_catalog()
+        v0 = catalog.version
+        catalog.add_replica("db1", "t", "near")
+        v1 = catalog.version
+        assert v1 > v0
+        catalog.drop_replica("db1", "t", "near")
+        assert catalog.version > v1
+        assert catalog.replica_sites("db1", "t") == frozenset()
+
+    def test_invalid_placements_rejected(self):
+        catalog = build_catalog()
+        with pytest.raises(CatalogError):
+            catalog.add_replica("db1", "t", "nowhere")  # unknown location
+        with pytest.raises(CatalogError):
+            catalog.add_replica("db1", "t", "home")  # primary site
+        catalog.add_replica("db1", "t", "near")
+        with pytest.raises(CatalogError):
+            catalog.add_replica("db1", "t", "near")  # duplicate
+        with pytest.raises(CatalogError):
+            catalog.drop_replica("db1", "t", "far")  # not registered

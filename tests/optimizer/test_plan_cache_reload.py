@@ -90,8 +90,8 @@ class BrokenPlanCache(PlanCache):
     """Deliberately buggy invalidator: lookups never revalidate, so a
     hot reload keeps serving stale derivations."""
 
-    def lookup(self, prepared, result_location=None):
-        key = prepared.key(result_location)
+    def lookup(self, prepared, result_location=None, variant=None):
+        key = prepared.key(result_location, variant)
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1

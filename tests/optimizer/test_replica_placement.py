@@ -1,0 +1,231 @@
+"""Replica-aware compliant placement.
+
+The tentpole contract at the optimizer layer:
+
+* **AR1 extension** — a scan's execution traits ℰ are its home site plus
+  every *compliant* replica site (replicas the policies would not let
+  the whole table ship to never enter ℰ);
+* **cheapest compliant copy** — the site-selection DP prices each
+  replica's link like any other candidate, so a replica co-located with
+  the join partner wins and the cross-border ship disappears;
+* **validator source check** — the independent validator accepts scans
+  at compliant replica sites and rejects both unregistered sites
+  (displaced scans) and registered-but-ungranted replicas;
+* **plan-cache invalidation** — replica add/drop bumps the catalog
+  version and drops cached entries; ``max_staleness`` is part of the
+  cache key, so optimizers with different freshness floors never share
+  an entry.
+"""
+
+import pytest
+
+from repro.catalog import Catalog, Column, TableSchema
+from repro.datatypes import DataType
+from repro.execution import fragment_plan, relocate_fragment
+from repro.geo import synthetic_network
+from repro.optimizer import CompliantOptimizer, PlanCache, check_compliance
+from repro.optimizer.validator import check_compliance_strict
+from repro.plan import TableScan
+from repro.policy import PolicyCatalog, PolicyEvaluator
+from repro.policy.replicas import ReplicaResolver
+
+QUERY = "SELECT t.k, t.v, u.w FROM t, u WHERE t.k = u.k"
+
+
+def build_world():
+    """t lives at home, u at near; policies let all of t travel to near
+    (and only near), so a t-replica at near is compliant and one at far
+    is not."""
+    catalog = Catalog()
+    catalog.add_database("db1", "home")
+    catalog.add_database("db2", "near")
+    catalog.add_database("db3", "far")
+    catalog.add_table(
+        "db1",
+        TableSchema(
+            "t",
+            (Column("k", DataType.INTEGER), Column("v", DataType.INTEGER)),
+            primary_key=("k",),
+        ),
+        row_count=1000,
+    )
+    catalog.add_table(
+        "db2",
+        TableSchema(
+            "u",
+            (Column("k", DataType.INTEGER), Column("w", DataType.INTEGER)),
+            primary_key=("k",),
+        ),
+        row_count=10,
+    )
+    policies = PolicyCatalog(catalog)
+    policies.add_text("ship k, v from t to near")
+    policies.add_text("ship k, w from u to *")
+    return catalog, policies
+
+
+def scan_locations(plan):
+    return {
+        (node.database, node.table): node.location
+        for node in plan.walk()
+        if isinstance(node, TableScan)
+    }
+
+
+class TestReplicaTraits:
+    def test_resolver_compliant_sites(self):
+        catalog, policies = build_world()
+        catalog.add_replica("db1", "t", "near")
+        catalog.add_replica("db1", "t", "far")
+        resolver = ReplicaResolver(catalog, PolicyEvaluator(policies))
+        assert resolver.full_scan_grant("db1", "t") == frozenset({"home", "near"})
+        assert resolver.compliant_sites("db1", "t") == frozenset({"near"})
+        assert resolver.all_sites("db1", "t") == frozenset({"near", "far"})
+
+    def test_scan_traits_include_only_compliant_replicas(self):
+        catalog, policies = build_world()
+        catalog.add_replica("db1", "t", "near")
+        catalog.add_replica("db1", "t", "far")
+        optimizer = CompliantOptimizer(
+            catalog, policies, synthetic_network(catalog.locations)
+        )
+        result = optimizer.optimize(QUERY)
+        for node in result.annotate.root.walk():
+            if getattr(node.op, "table", None) == "t":
+                assert node.execution_trait == frozenset({"home", "near"})
+                break
+        else:  # pragma: no cover
+            pytest.fail("no scan of t in the annotated plan")
+
+    def test_staleness_bound_filters_planning_candidates(self):
+        catalog, policies = build_world()
+        catalog.add_replica("db1", "t", "near", staleness_seconds=10.0)
+        fresh = CompliantOptimizer(
+            catalog, policies, synthetic_network(catalog.locations),
+            max_staleness=1.0,
+        )
+        result = fresh.optimize(QUERY)
+        # The only replica is too stale for this optimizer: the t-scan
+        # must stay home.
+        assert scan_locations(result.plan)[("db1", "t")] == "home"
+        stale_ok = CompliantOptimizer(
+            catalog, policies, synthetic_network(catalog.locations),
+            max_staleness=30.0,
+        )
+        assert scan_locations(stale_ok.optimize(QUERY).plan)[("db1", "t")] == "near"
+
+
+class TestReplicaPlacement:
+    def test_compliant_replica_removes_cross_border_ship(self):
+        catalog, policies = build_world()
+        network = synthetic_network(catalog.locations)
+        baseline = CompliantOptimizer(catalog, policies, network).optimize(QUERY)
+        assert baseline.estimated_shipping_cost > 0.0
+        catalog.add_replica("db1", "t", "near")
+        replicated = CompliantOptimizer(catalog, policies, network).optimize(QUERY)
+        assert scan_locations(replicated.plan)[("db1", "t")] == "near"
+        assert replicated.estimated_shipping_cost == 0.0
+
+    def test_replica_plan_passes_both_validators(self):
+        catalog, policies = build_world()
+        catalog.add_replica("db1", "t", "near")
+        optimizer = CompliantOptimizer(
+            catalog, policies, synthetic_network(catalog.locations)
+        )
+        plan = optimizer.optimize(QUERY).plan
+        assert scan_locations(plan)[("db1", "t")] == "near"
+        assert check_compliance(plan, optimizer.evaluator) == []
+        assert check_compliance_strict(plan, optimizer.evaluator) == []
+
+
+class TestValidatorSourceCheck:
+    def relocated_scan_plan(self, catalog, policies, site):
+        """Optimize with the t-scan at home, then forcibly relocate the
+        scan fragment to ``site`` — the validator's input for a scan
+        claiming a non-primary source."""
+        optimizer = CompliantOptimizer(
+            catalog, policies, synthetic_network(catalog.locations)
+        )
+        plan = optimizer.optimize(QUERY).plan
+        dag = fragment_plan(plan)
+        (scan_fragment,) = [
+            f
+            for f in dag.fragments
+            if any(
+                isinstance(n, TableScan) and n.table == "t"
+                for n in f.root.walk()
+            )
+        ]
+        return relocate_fragment(plan, scan_fragment, site), optimizer.evaluator
+
+    def test_unregistered_site_is_displaced_scan(self):
+        catalog, policies = build_world()
+        plan, evaluator = self.relocated_scan_plan(catalog, policies, "near")
+        violations = check_compliance(plan, evaluator)
+        assert violations
+        assert any("no replica" in str(v) for v in violations)
+
+    def test_non_compliant_replica_rejected(self):
+        catalog, policies = build_world()
+        catalog.add_replica("db1", "t", "far")
+        plan, evaluator = self.relocated_scan_plan(catalog, policies, "far")
+        violations = check_compliance(plan, evaluator)
+        assert any("do not admit" in str(v) for v in violations)
+        assert check_compliance_strict(plan, evaluator)
+
+    def test_compliant_replica_accepted_even_if_stale(self):
+        catalog, policies = build_world()
+        # Staleness is a planning preference, not a policy property:
+        # the validator admits any *compliant* replica.
+        catalog.add_replica("db1", "t", "near", staleness_seconds=60.0)
+        plan, evaluator = self.relocated_scan_plan(catalog, policies, "near")
+        assert check_compliance(plan, evaluator) == []
+
+
+class TestPlanCacheReplicaInvalidation:
+    def test_add_and_drop_replica_invalidate(self):
+        catalog, policies = build_world()
+        optimizer = CompliantOptimizer(
+            catalog,
+            policies,
+            synthetic_network(catalog.locations),
+            plan_cache=True,
+        )
+        cache = optimizer.plan_cache
+        first = optimizer.optimize(QUERY)
+        assert not first.cache_hit
+        assert optimizer.optimize(QUERY).cache_hit
+
+        catalog.add_replica("db1", "t", "near")
+        refreshed = optimizer.optimize(QUERY)
+        assert not refreshed.cache_hit  # stale pre-replica entry dropped
+        assert cache.stats.invalidations >= 1
+        assert scan_locations(refreshed.plan)[("db1", "t")] == "near"
+        assert optimizer.optimize(QUERY).cache_hit
+
+        catalog.drop_replica("db1", "t", "near")
+        replanned = optimizer.optimize(QUERY)
+        assert not replanned.cache_hit  # cached plan read a dropped replica
+        assert scan_locations(replanned.plan)[("db1", "t")] == "home"
+
+    def test_max_staleness_is_part_of_the_cache_key(self):
+        catalog, policies = build_world()
+        catalog.add_replica("db1", "t", "near", staleness_seconds=10.0)
+        network = synthetic_network(catalog.locations)
+        shared = PlanCache(policies)
+        fresh = CompliantOptimizer(
+            catalog, policies, network, plan_cache=shared, max_staleness=1.0
+        )
+        stale_ok = CompliantOptimizer(
+            catalog, policies, network, plan_cache=shared, max_staleness=30.0
+        )
+        fresh_plan = fresh.optimize(QUERY)
+        stale_plan = stale_ok.optimize(QUERY)
+        # Different freshness floors must not share an entry: the two
+        # first submissions are both misses with distinct placements.
+        assert not fresh_plan.cache_hit
+        assert not stale_plan.cache_hit
+        assert scan_locations(fresh_plan.plan)[("db1", "t")] == "home"
+        assert scan_locations(stale_plan.plan)[("db1", "t")] == "near"
+        assert fresh.optimize(QUERY).cache_hit
+        assert stale_ok.optimize(QUERY).cache_hit

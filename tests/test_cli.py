@@ -195,3 +195,51 @@ def test_serve_trace_flag_records_workload(tmp_path, capsys):
     assert trace.exists()
     assert main(["audit", str(trace)]) == 0
     assert "audit: COMPLIANT" in capsys.readouterr().out
+
+
+REPLICA_SPEC = "db1.customer@NorthAmerica;db1.orders@NorthAmerica"
+
+
+def test_run_with_replicas_and_audit_roundtrip(tmp_path, capsys):
+    """A faulted replicated run serves (exit 0) and audits clean when
+    the auditor re-registers the same replicas; omitting the spec or
+    auditing under policies that do not admit the replica exits 4."""
+    trace = tmp_path / "replicas.jsonl"
+    assert main(
+        [
+            "run", "Q3", "--scale", "0.001", "--set", "T", "--parallel",
+            "--replicas", REPLICA_SPEC, "--result-location", "Europe",
+            "--faults", "flaky:NorthAmerica->Europe@0+0.05",
+            "--retries", "6", "--trace", str(trace),
+        ]
+    ) == 0
+    capsys.readouterr()
+    assert main(["audit", str(trace), "--set", "T", "--replicas", REPLICA_SPEC]) == 0
+    assert "COMPLIANT" in capsys.readouterr().out
+    # Fail-closed: no spec -> the replica read is a displaced scan.
+    assert main(["audit", str(trace), "--set", "T"]) == 4
+    assert "displaced-scan" in capsys.readouterr().out
+    # Registered but ungranted under CR -> the dedicated category.
+    assert main(["audit", str(trace), "--set", "CR", "--replicas", REPLICA_SPEC]) == 4
+    assert "non-compliant-replica" in capsys.readouterr().out
+
+
+def test_run_replica_failover_summary_line(capsys):
+    """Crashing the collapsed plan's site surfaces the replica-failover
+    counters on the CLI (exit 0, not a partial failure)."""
+    spec = REPLICA_SPEC + ";db4.lineitem@Europe"
+    assert main(
+        [
+            "run", "Q3", "--scale", "0.001", "--set", "T", "--parallel",
+            "--replicas", spec, "--faults", "crash:Europe@0", "--retries", "6",
+        ]
+    ) == 0
+    captured = capsys.readouterr()
+    out = captured.out + captured.err  # run diagnostics go to stderr
+    assert "failover (replica):" in out
+    assert "replica failovers: 1" in out
+    assert "1 partial failures avoided" in out
+
+
+def test_bad_replica_spec_exit_code(capsys):
+    assert main(["explain", "Q3", "--set", "T", "--replicas", "customer@X"]) == 1
