@@ -3,9 +3,27 @@
 from .schema import Column, ForeignKey, TableSchema
 from .statistics import ColumnStats, TableStats, stats_from_rows, uniform_stats
 from .catalog import Catalog, Database, GlobalTable, StoredTable
+from .freshness import (
+    FRESHNESS_EPS,
+    FreshnessTracker,
+    RefreshDegrade,
+    RefreshPause,
+    RefreshSchedule,
+    apply_refresh_spec,
+    parse_refresh_spec,
+    random_refresh_schedules,
+)
 from .replicas import Replica, parse_replica_spec
 
 __all__ = [
+    "FRESHNESS_EPS",
+    "FreshnessTracker",
+    "RefreshDegrade",
+    "RefreshPause",
+    "RefreshSchedule",
+    "apply_refresh_spec",
+    "parse_refresh_spec",
+    "random_refresh_schedules",
     "Replica",
     "parse_replica_spec",
     "Column",

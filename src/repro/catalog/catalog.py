@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import CatalogError
+from .freshness import RefreshSchedule
 from .replicas import Replica
 from .schema import TableSchema
 from .statistics import TableStats, uniform_stats
@@ -75,6 +76,9 @@ class Catalog:
         #: Read-only alternate placements per stored fragment, keyed by
         #: ``(database, table)``.  See :mod:`.replicas`.
         self._replicas: dict[tuple[str, str], list[Replica]] = {}
+        #: Per-replica refresh schedules, keyed by
+        #: ``(database, table, site)``.  See :mod:`.freshness`.
+        self._refresh: dict[tuple[str, str, str], RefreshSchedule] = {}
         #: Monotone catalog version, bumped on every replica-set change.
         #: Mirrors ``PolicyCatalog.version``: the plan cache and the
         #: replica resolver key derived state on it so cached located
@@ -223,7 +227,31 @@ class Catalog:
             self._replicas[key] = kept
         else:
             del self._replicas[key]
+        self._refresh.pop((database, table.lower(), site), None)
         self._version += 1
+
+    def set_refresh(
+        self, database: str, table: str, site: str, schedule: RefreshSchedule
+    ) -> None:
+        """Attach (or replace) the refresh schedule of the replica of
+        ``database.table`` at ``site``.  Bumps the catalog version: a
+        schedule change alters which replicas satisfy a staleness bound,
+        so cached located plans and resolver state must re-derive."""
+        replicas = self._replicas.get((database, table.lower()), ())
+        if not any(r.site == site for r in replicas):
+            raise CatalogError(
+                f"{database}.{table} has no replica at {site!r} to schedule "
+                "refreshes for"
+            )
+        self._refresh[(database, table.lower(), site)] = schedule
+        self._version += 1
+
+    def refresh_schedule(
+        self, database: str, table: str, site: str
+    ) -> RefreshSchedule | None:
+        """The replica's refresh schedule, or ``None`` for the static
+        (declared-bound) model."""
+        return self._refresh.get((database, table.lower(), site))
 
     def replicas(self, database: str, table: str) -> list[Replica]:
         """All declared replicas of one stored fragment (may be empty)."""

@@ -1,0 +1,449 @@
+"""Per-replica refresh schedules and the freshness tracker.
+
+PR 8 declared replicas with a *static* staleness bound — a planning-time
+annotation.  This module models replica lag as a runtime property on the
+same simulated clock the fragment scheduler advances: each replica
+carries a :class:`RefreshSchedule` describing when the copy is brought
+back in sync with its primary, and a :class:`FreshnessTracker` derives
+the replica's staleness — ``now − last refresh completion`` — at any
+instant.  Because the schedule is declarative and the clock simulated,
+staleness at every admission and failover decision is exactly
+reproducible, like the fault plans of :mod:`repro.execution.faults`
+whose spec grammar the ``--refresh`` syntax mirrors.
+
+Model
+-----
+* Every replica is synchronized with its primary at load time (t = 0).
+* A schedule with ``period`` refreshes at ``phase``, then every
+  ``period`` seconds (``phase`` defaults to one period).
+* A :class:`RefreshDegrade` window multiplies the gap *scheduled from*
+  any instant inside it by ``factor`` (degraded replication, an
+  injectable fault).
+* A :class:`RefreshPause` window defers any refresh falling inside it
+  to the window's end; an unbounded pause cancels all later refreshes
+  (paused replication — the headline injectable fault: staleness then
+  grows without bound).
+* A replica with *no* schedule keeps PR 8's static model: its declared
+  ``staleness_seconds`` bound is taken as its constant lag, so runtime
+  checking degenerates to exactly the old planning-time filter.
+
+Schedules are registered on the :class:`~repro.catalog.Catalog` via
+:meth:`~repro.catalog.Catalog.set_refresh`, which bumps the catalog
+version so replica-resolver caches and the compliant plan cache
+invalidate precisely.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import CatalogError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .catalog import Catalog
+    from .replicas import Replica
+
+#: Tolerance for staleness/bound comparisons on the simulated clock.
+FRESHNESS_EPS = 1e-9
+
+#: Guard against pathological schedules (a microscopic period queried at
+#: a late instant would otherwise iterate forever).
+_MAX_REFRESH_STEPS = 200_000
+
+
+@dataclass(frozen=True)
+class RefreshPause:
+    """Replication paused from ``at``; forever when ``duration`` is
+    ``None``, else until ``at + duration``."""
+
+    at: float = 0.0
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise CatalogError(f"refresh pause onset must be >= 0, got {self.at}")
+        if self.duration is not None and self.duration <= 0:
+            raise CatalogError(
+                f"refresh pause duration must be > 0, got {self.duration}"
+            )
+
+    def active(self, when: float) -> bool:
+        if when < self.at:
+            return False
+        return self.duration is None or when < self.at + self.duration
+
+    def __str__(self) -> str:
+        window = "" if self.duration is None else f"+{self.duration:g}"
+        return f"@{self.at:g}{window}"
+
+
+@dataclass(frozen=True)
+class RefreshDegrade:
+    """Replication slowed by ``factor`` during the window: refresh gaps
+    scheduled from an instant inside it are multiplied."""
+
+    factor: float
+    at: float = 0.0
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise CatalogError(
+                f"refresh degrade factor must be >= 1, got {self.factor}"
+            )
+        if self.at < 0:
+            raise CatalogError(f"refresh degrade onset must be >= 0, got {self.at}")
+        if self.duration is not None and self.duration <= 0:
+            raise CatalogError(
+                f"refresh degrade duration must be > 0, got {self.duration}"
+            )
+
+    def active(self, when: float) -> bool:
+        if when < self.at:
+            return False
+        return self.duration is None or when < self.at + self.duration
+
+    def __str__(self) -> str:
+        window = "" if self.duration is None else f"+{self.duration:g}"
+        return f"@{self.at:g}{window}x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class RefreshSchedule:
+    """One replica's refresh behavior on the simulated clock."""
+
+    #: Nominal seconds between refresh completions (``None`` = no
+    #: periodic refresh declared: the replica keeps the static model).
+    period: float | None = None
+    #: Instant of the first refresh after load (0.0 = one period in).
+    phase: float = 0.0
+    pauses: tuple[RefreshPause, ...] = ()
+    degradations: tuple[RefreshDegrade, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.period is not None and self.period <= 0:
+            raise CatalogError(
+                f"refresh period must be > 0 seconds, got {self.period}"
+            )
+        if self.phase < 0:
+            raise CatalogError(f"refresh phase must be >= 0, got {self.phase}")
+
+    # -- refresh completion instants --------------------------------------
+
+    def _degrade_factor(self, when: float) -> float:
+        factor = 1.0
+        for event in self.degradations:
+            if event.active(when):
+                factor *= event.factor
+        return factor
+
+    def _deferred(self, instant: float) -> float | None:
+        """Defer ``instant`` past any pause window covering it; ``None``
+        when an unbounded pause swallows it (and everything after)."""
+        moved = True
+        while moved:
+            moved = False
+            for pause in self.pauses:
+                if pause.active(instant):
+                    if pause.duration is None:
+                        return None
+                    instant = pause.at + pause.duration
+                    moved = True
+        return instant
+
+    def refreshes(self, horizon: float):
+        """Yield refresh-completion instants in ``(0, horizon]``."""
+        if self.period is None:
+            return
+        nominal = self.phase if self.phase > 0 else self.period
+        for _ in range(_MAX_REFRESH_STEPS):
+            completion = self._deferred(nominal)
+            if completion is None:
+                return
+            if completion > horizon:
+                return
+            yield completion
+            nominal = completion + self.period * self._degrade_factor(completion)
+        raise CatalogError(
+            f"refresh schedule exceeds {_MAX_REFRESH_STEPS} refreshes before "
+            f"t={horizon:g}s; the period ({self.period:g}s) is too small for "
+            f"this simulation horizon"
+        )
+
+    def last_refresh(self, at: float) -> float:
+        """The latest refresh completion at or before ``at`` (0.0 — the
+        load-time synchronization — when none has happened yet)."""
+        last = 0.0
+        for completion in self.refreshes(at):
+            last = completion
+        return last
+
+    def next_refresh(self, after: float) -> float | None:
+        """The first refresh completion strictly after ``after``, or
+        ``None`` when no further refresh will ever happen (no period, or
+        replication paused forever)."""
+        if self.period is None:
+            return None
+        nominal = self.phase if self.phase > 0 else self.period
+        for _ in range(_MAX_REFRESH_STEPS):
+            completion = self._deferred(nominal)
+            if completion is None:
+                return None
+            if completion > after + FRESHNESS_EPS:
+                return completion
+            nominal = completion + self.period * self._degrade_factor(completion)
+        raise CatalogError(
+            f"refresh schedule exceeds {_MAX_REFRESH_STEPS} refreshes before "
+            f"t={after:g}s; the period ({self.period:g}s) is too small for "
+            f"this simulation horizon"
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        if self.period is not None:
+            phase = f"+{self.phase:g}" if self.phase > 0 else ""
+            parts.append(f"every @{self.period:g}{phase}")
+        parts.extend(f"pause {p}" for p in self.pauses)
+        parts.extend(f"degrade {d}" for d in self.degradations)
+        return "; ".join(parts) or "(static)"
+
+
+# -- the tracker ---------------------------------------------------------------
+
+
+class FreshnessTracker:
+    """Derives each replica's staleness at any simulated instant from
+    the catalog's declared replicas and refresh schedules.
+
+    The tracker is stateless over the clock — every query recomputes
+    from the declarative schedule — so the scheduler, the failover
+    planner, and the *independent* trace auditor all derive identical
+    staleness for the same instant.
+    """
+
+    def __init__(self, catalog: "Catalog") -> None:
+        self.catalog = catalog
+
+    def _replica(self, database: str, table: str, site: str) -> "Replica | None":
+        for replica in self.catalog.replicas(database, table):
+            if replica.site == site:
+                return replica
+        return None
+
+    def is_replica_site(self, database: str, table: str, site: str) -> bool:
+        """Is ``site`` a declared replica of the stored fragment (as
+        opposed to its primary location)?"""
+        return self._replica(database, table, site) is not None
+
+    def staleness(self, database: str, table: str, site: str, at: float) -> float:
+        """Seconds the copy at ``site`` lags the primary at instant
+        ``at``: 0.0 for the primary, ``at − last refresh`` for a
+        scheduled replica, the declared static bound otherwise.  Raises
+        :class:`~repro.errors.CatalogError` for a site holding neither
+        the primary nor a declared replica — freshness of an unknown
+        copy must fail loudly, never read as fresh."""
+        stored = self.catalog.stored_table(database, table)
+        if stored.location == site:
+            return 0.0
+        replica = self._replica(database, table, site)
+        if replica is None:
+            raise CatalogError(
+                f"{database}.{table} has no replica at {site!r}; cannot "
+                f"derive its staleness"
+            )
+        schedule = self.catalog.refresh_schedule(database, table, site)
+        if schedule is None or schedule.period is None:
+            return replica.staleness_seconds
+        return max(0.0, at - schedule.last_refresh(at))
+
+    def next_refresh(
+        self, database: str, table: str, site: str, after: float
+    ) -> float | None:
+        """The replica's first refresh completion after ``after`` (the
+        instant a waiting reader becomes fresh), or ``None`` when no
+        refresh will ever come."""
+        schedule = self.catalog.refresh_schedule(database, table, site)
+        if schedule is None:
+            return None
+        return schedule.next_refresh(after)
+
+
+# -- the --refresh spec grammar ------------------------------------------------
+
+
+def _parse_target(body: str, what: str) -> tuple[str, str, str, str]:
+    """Split ``db.table@Site@TIMING...`` into (db, table, site, timing)."""
+    target, sep, timing = body.rpartition("@")
+    if not sep or not target or not timing:
+        raise ValueError(f"expected db.table@SITE@{what}")
+    qualified, at, site = target.partition("@")
+    if not at or not site:
+        raise ValueError(f"expected db.table@SITE@{what}")
+    database, dot, table = qualified.partition(".")
+    if not dot or not database or not table:
+        raise ValueError("expected a db.table qualified name")
+    return database, table, site, timing
+
+
+def random_refresh_schedules(
+    seed: int,
+    replicas: Sequence["Replica"],
+    horizon: float = 0.25,
+) -> dict[tuple[str, str, str], RefreshSchedule]:
+    """Draw a seeded random refresh schedule for every declared replica
+    — the ``random:SEED`` arm of the spec grammar, for chaos suites.
+
+    Periods are drawn at the makespan scale of the benchmark plans (tens
+    of simulated milliseconds, like :meth:`FaultPlan.random`'s horizon)
+    so staleness actually varies across a run; some replicas addionally
+    draw a degraded window or a bounded pause.
+    """
+    rng = random.Random(seed)
+    schedules: dict[tuple[str, str, str], RefreshSchedule] = {}
+    for replica in sorted(replicas, key=lambda r: (r.database, r.table, r.site)):
+        period = round(rng.uniform(horizon / 10, horizon), 4)
+        schedule = RefreshSchedule(
+            period=period, phase=round(rng.uniform(0.0, period), 4)
+        )
+        roll = rng.random()
+        if roll < 0.25:
+            schedule = replace(
+                schedule,
+                pauses=(
+                    RefreshPause(
+                        at=round(rng.uniform(0.0, horizon), 3),
+                        duration=round(rng.uniform(horizon / 2, 2 * horizon), 3),
+                    ),
+                ),
+            )
+        elif roll < 0.5:
+            schedule = replace(
+                schedule,
+                degradations=(
+                    RefreshDegrade(
+                        factor=round(rng.uniform(1.5, 4.0), 2),
+                        at=round(rng.uniform(0.0, horizon), 3),
+                        duration=round(rng.uniform(horizon / 2, 2 * horizon), 3),
+                    ),
+                ),
+            )
+        schedules[(replica.database, replica.table, replica.site)] = schedule
+    return schedules
+
+
+def parse_refresh_spec(
+    spec: str,
+    replicas: Sequence["Replica"] | None = None,
+) -> dict[tuple[str, str, str], RefreshSchedule]:
+    """Parse the CLI ``--refresh`` syntax into per-replica schedules.
+
+    Events are ``;``-separated, mirroring ``--faults``.  Grammar per
+    event::
+
+        every:db.table@SITE@PERIOD[+PHASE]
+        pause:db.table@SITE@T[+DURATION]
+        degrade:db.table@SITE@T[+DURATION]xFACTOR
+        random:SEED        (seeded schedules over all declared replicas)
+
+    Examples: ``every:db1.customer@Europe@0.05``,
+    ``pause:db1.customer@Europe@0.1`` (paused forever from t=0.1),
+    ``degrade:db2.orders@Asia@0+0.5x4``, ``random:42``.
+
+    ``pause``/``degrade`` events require an ``every`` schedule for the
+    same replica (there is no refresh stream to pause otherwise) — a
+    spec violating that fails loudly instead of silently doing nothing.
+    Returns ``{(database, table, site): RefreshSchedule}``.
+    """
+    schedules: dict[tuple[str, str, str], RefreshSchedule] = {}
+    extras: list[tuple[str, tuple[str, str, str], object]] = []
+    for raw in spec.split(";"):
+        part = raw.strip()
+        if not part:
+            continue
+        kind, _, body = part.partition(":")
+        try:
+            if kind == "random":
+                if replicas is None:
+                    raise ValueError("random refresh plans need the replica list")
+                schedules.update(random_refresh_schedules(int(body), replicas))
+                continue
+            if kind == "every":
+                database, table, site, timing = _parse_target(
+                    body, "PERIOD[+PHASE]"
+                )
+                period, _, phase = timing.partition("+")
+                schedule = RefreshSchedule(
+                    period=float(period), phase=float(phase) if phase else 0.0
+                )
+                key = (database, table.lower(), site)
+                previous = schedules.get(key)
+                if previous is not None and previous.period is not None:
+                    raise ValueError(
+                        f"duplicate every: schedule for {database}.{table}@{site}"
+                    )
+                if previous is not None:
+                    schedule = replace(
+                        schedule,
+                        pauses=previous.pauses,
+                        degradations=previous.degradations,
+                    )
+                schedules[key] = schedule
+            elif kind == "pause":
+                database, table, site, timing = _parse_target(body, "T[+DURATION]")
+                onset, _, duration = timing.partition("+")
+                pause = RefreshPause(
+                    at=float(onset or 0.0),
+                    duration=float(duration) if duration else None,
+                )
+                extras.append(("pause", (database, table.lower(), site), pause))
+            elif kind == "degrade":
+                database, table, site, timing = _parse_target(
+                    body, "T[+DURATION]xFACTOR"
+                )
+                window, x, factor = timing.rpartition("x")
+                if not x:
+                    raise ValueError("expected xFACTOR")
+                onset, _, duration = window.partition("+")
+                degrade = RefreshDegrade(
+                    factor=float(factor),
+                    at=float(onset or 0.0),
+                    duration=float(duration) if duration else None,
+                )
+                extras.append(("degrade", (database, table.lower(), site), degrade))
+            else:
+                raise ValueError(f"unknown refresh event kind {kind!r}")
+        except CatalogError:
+            raise
+        except ValueError as error:
+            raise CatalogError(f"bad refresh event {part!r}: {error}") from None
+    for kind, key, event in extras:
+        schedule = schedules.get(key)
+        if schedule is None or schedule.period is None:
+            database, table, site = key
+            raise CatalogError(
+                f"refresh event {kind}:{database}.{table}@{site} has no "
+                f"every: schedule to modify — declare the replica's period "
+                f"first (there is no refresh stream to {kind} otherwise)"
+            )
+        if kind == "pause":
+            schedules[key] = replace(
+                schedule, pauses=(*schedule.pauses, event)
+            )
+        else:
+            schedules[key] = replace(
+                schedule, degradations=(*schedule.degradations, event)
+            )
+    return schedules
+
+
+def apply_refresh_spec(catalog: "Catalog", spec: str) -> int:
+    """Parse ``spec`` and register every schedule on ``catalog`` (each
+    registration bumps the catalog version).  Returns the number of
+    replicas scheduled; unknown replicas fail with a typed
+    :class:`~repro.errors.CatalogError` from ``set_refresh``."""
+    schedules = parse_refresh_spec(spec, replicas=catalog.all_replicas())
+    for (database, table, site), schedule in sorted(schedules.items()):
+        catalog.set_refresh(database, table, site, schedule)
+    return len(schedules)

@@ -40,6 +40,20 @@ re-confirm each replica read (an unregistered site is a
 ``displaced-scan``; a registered one the policies reject is a
 ``non-compliant-replica``).
 
+``run`` and ``serve`` additionally accept ``--refresh SPEC`` to give
+replicas per-site refresh schedules on the simulated clock
+(``every:db.table@Site@PERIOD[+PHASE]``, with ``pause:`` / ``degrade:``
+refresh faults and ``random:SEED``; grammar mirrors ``--faults``) and
+``--staleness-policy {prefer-fresh,wait-for-refresh,read-stale,plan-only}``
+to pick how stale replicas are handled at fragment admission.  Either
+flag turns on *runtime* freshness checking (implies ``--parallel``):
+every scan-bearing admission and failover decision re-derives each
+replica's staleness at that instant and demotes replicas violating
+``--max-staleness``.  ``audit`` accepts the same ``--refresh`` spec and
+``--max-staleness`` bound so the auditor can re-derive per-read
+freshness verdicts; a trace carrying staleness evidence audited without
+them fails closed.
+
 ``run`` and ``serve`` accept ``--trace FILE`` to record every optimizer
 decision, SHIP attempt, and admission event as deterministic JSONL;
 ``audit`` with an existing trace file replays it against the policy set
@@ -58,10 +72,12 @@ import os
 import sys
 from contextlib import nullcontext
 
-from .catalog import parse_replica_spec
+from .catalog import FreshnessTracker, apply_refresh_spec, parse_replica_spec
 from .errors import NonCompliantQueryError, ReproError
 from .execution import (
+    FRESHNESS_MODES,
     ExecutionEngine,
+    FreshnessPolicy,
     RetryPolicy,
     explain_fragments,
     fragment_plan,
@@ -107,6 +123,21 @@ def _apply_replicas(catalog, spec: str | None) -> None:
         )
 
 
+def _build_freshness(catalog, args: argparse.Namespace) -> FreshnessPolicy | None:
+    """Build the runtime freshness policy when ``--refresh`` or
+    ``--staleness-policy`` was given (``None`` otherwise: runtime
+    freshness checking stays off and replica behavior is unchanged)."""
+    if args.refresh is None and args.staleness_policy is None:
+        return None
+    if args.refresh is not None:
+        apply_refresh_spec(catalog, args.refresh)
+    return FreshnessPolicy(
+        FreshnessTracker(catalog),
+        mode=args.staleness_policy or "prefer-fresh",
+        max_staleness=args.max_staleness,
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -143,6 +174,26 @@ def _build_parser() -> argparse.ArgumentParser:
                 "bound is at most SECONDS (default: any replica)",
             )
 
+    def add_freshness(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--refresh",
+            default=None,
+            metavar="SPEC",
+            help="give replicas refresh schedules on the simulated clock "
+            "(implies --parallel); ';'-separated events: "
+            "every:db.table@SITE@PERIOD[+PHASE], "
+            "pause:db.table@SITE@T[+DUR], "
+            "degrade:db.table@SITE@T[+DUR]xFACTOR, random:SEED",
+        )
+        p.add_argument(
+            "--staleness-policy",
+            default=None,
+            choices=list(FRESHNESS_MODES),
+            help="how stale replicas are handled at fragment admission "
+            "(implies --parallel; default with --refresh: prefer-fresh). "
+            "'plan-only' records staleness without enforcing the bound",
+        )
+
     explain = sub.add_parser("explain", help="optimize and print the plan")
     add_common(explain)
     add_replicas(explain)
@@ -159,6 +210,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="optimize, execute on generated data, print rows")
     add_common(run)
     add_replicas(run)
+    add_freshness(run)
     run.add_argument(
         "--scale", type=float, default=0.005, help="TPC-H data scale (default 0.005)"
     )
@@ -249,6 +301,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="curated policy-expression set (default: CR)",
     )
     add_replicas(serve)
+    add_freshness(serve)
     serve.add_argument(
         "--scale", type=float, default=0.005, help="TPC-H data scale (default 0.005)"
     )
@@ -379,6 +432,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "'#' comments) instead of a curated --set",
     )
     add_replicas(audit, planning=False)
+    audit.add_argument(
+        "--refresh",
+        default=None,
+        metavar="SPEC",
+        help="the --refresh spec the traced run used, so the auditor can "
+        "independently re-derive each replica read's staleness",
+    )
+    audit.add_argument(
+        "--max-staleness",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="staleness bound for freshness verdicts on traces that "
+        "carry no per-query bound (default: reads are never "
+        "bound-violated, only fresh or stale)",
+    )
 
     policies = sub.add_parser("policies", help="print a curated policy set")
     add_common(policies, with_query=False)
@@ -424,6 +493,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     catalog, database = build_benchmark(scale=args.scale, stats_scale=1.0)
     _apply_replicas(catalog, args.replicas)
+    freshness = _build_freshness(catalog, args)
     network = default_network()
     policy_catalog = curated_policies(catalog, args.policy_set)
     optimizer = CompliantOptimizer(
@@ -447,7 +517,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             faults = parse_fault_spec(args.faults, locations=catalog.locations)
             parallel = True  # faults live on the fragment scheduler's clock
         else:
-            parallel = args.parallel
+            # Freshness checks also live on the simulated clock.
+            parallel = args.parallel or freshness is not None
         if args.retries is not None or args.fragment_timeout is not None:
             defaults = RetryPolicy()
             retry_policy = RetryPolicy(
@@ -465,6 +536,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             faults=faults,
             retry_policy=retry_policy,
             executor=args.executor,
+            freshness=freshness,
         )
         # Pass the whole OptimizationResult: a store-time-validated plan
         # skips the engine's redundant guard re-check.
@@ -509,6 +581,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"avoided)",
                 file=sys.stderr,
             )
+    if freshness is not None:
+        bound = (
+            f", bound {freshness.max_staleness:g}s"
+            if freshness.max_staleness is not None
+            else ""
+        )
+        print(
+            f"freshness ({freshness.mode}{bound}): "
+            f"{len(output.metrics.scan_reads)} replica reads, "
+            f"{output.metrics.stale_reads} stale, "
+            f"{output.metrics.refresh_waits} refresh waits "
+            f"({output.metrics.refresh_wait_seconds:.3f}s waited), "
+            f"{output.metrics.freshness_demotions} freshness demotions",
+            file=sys.stderr,
+        )
     if args.explain_fragments and parallel:
         print("\nfragment timings (simulated WAN clock):", file=sys.stderr)
         for record in output.metrics.fragments:
@@ -530,6 +617,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     requests = load_workload(args.workload, resolve=_resolve_sql)
     catalog, database = build_benchmark(scale=args.scale, stats_scale=1.0)
     _apply_replicas(catalog, args.replicas)
+    freshness = _build_freshness(catalog, args)
     network = default_network()
     policy_catalog = curated_policies(catalog, args.policy_set)
     optimizer = CompliantOptimizer(
@@ -573,6 +661,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retry_policy=retry_policy,
         executor=args.executor,
         max_workers=args.workers,
+        freshness=freshness,
     )
     recorder = TraceRecorder() if args.trace is not None else None
     with tracing(recorder) if recorder is not None else nullcontext():
@@ -626,7 +715,22 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             policy_catalog = _load_policy_file(catalog, args.policies)
         else:
             policy_catalog = curated_policies(catalog, args.policy_set)
-        report = ComplianceAuditor(policy_catalog).audit_file(args.query)
+        # Freshness verdicts need an audit-side tracker mirroring the
+        # traced run's replica/refresh configuration.  Built whenever
+        # replicas are declared; a trace carrying staleness evidence
+        # audited without one fails closed (FreshnessAuditError).
+        if args.refresh is not None:
+            apply_refresh_spec(catalog, args.refresh)
+        tracker = (
+            FreshnessTracker(catalog)
+            if args.refresh is not None or args.replicas is not None
+            else None
+        )
+        report = ComplianceAuditor(
+            policy_catalog,
+            freshness=tracker,
+            max_staleness=args.max_staleness,
+        ).audit_file(args.query)
         print(report.summary())
         for violation in report.violations:
             print(f"  VIOLATION: {violation}")

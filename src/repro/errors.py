@@ -131,6 +131,29 @@ class SiteUnavailableError(FaultError):
         super().__init__(message)
 
 
+class ReplicaStaleError(FaultError):
+    """A fragment was about to read a replica whose staleness — derived
+    from its refresh schedule at the current simulated instant —
+    violates the query's bound (or the active prefer-fresh policy).
+
+    A :class:`FaultError` by design: the scheduler treats a stale
+    replica exactly like an unavailable one and consults the failover
+    planner for a fresher legal copy, so staleness demotions reuse the
+    whole recovery machinery (validation, tracing, counters)."""
+
+    def __init__(
+        self,
+        message: str,
+        site: str,
+        staleness: float,
+        bound: float | None = None,
+    ) -> None:
+        self.site = site
+        self.staleness = staleness
+        self.bound = bound
+        super().__init__(message)
+
+
 class FragmentTimeoutError(FaultError):
     """A fragment's input delivery exceeded the per-fragment timeout on
     the simulated clock (typically after accumulating retry backoff)."""
@@ -154,6 +177,15 @@ class TraceFormatError(ReproError):
         if line is not None:
             message = f"line {line}: {message}"
         super().__init__(message)
+
+
+class FreshnessAuditError(ReproError):
+    """The auditor met freshness evidence it cannot independently
+    verify: a trace carries ``staleness_at_read`` annotations or
+    ``scan_read`` events, but the auditor was not given the catalog
+    state (``--replicas`` and, for scheduled replicas, ``--refresh``)
+    needed to re-derive staleness.  Fail-closed by design — an
+    unverifiable freshness claim must never audit as fresh."""
 
 
 class AdmissionRejected(ExecutionError):

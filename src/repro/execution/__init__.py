@@ -6,6 +6,7 @@ from .metrics import (
     OperatorRecord,
     PartialFailure,
     RecoveryRecord,
+    ScanRead,
     ShipRecord,
 )
 from .operators import OperatorExecutor, RowBatch, actual_bytes
@@ -28,6 +29,7 @@ from .faults import (
     parse_fault_spec,
     stable_fraction,
 )
+from .freshness import FRESHNESS_MODES, FreshnessPolicy
 from .recovery import (
     FailoverPlanner,
     RetryPolicy,
@@ -50,7 +52,10 @@ __all__ = [
     "OperatorRecord",
     "PartialFailure",
     "RecoveryRecord",
+    "ScanRead",
     "ShipRecord",
+    "FRESHNESS_MODES",
+    "FreshnessPolicy",
     "OperatorExecutor",
     "RowBatch",
     "actual_bytes",

@@ -36,6 +36,7 @@ from ..plan import PhysicalPlan
 from ..policy import PolicyEvaluator
 from ..trace import current_recorder
 from .faults import FaultPlan
+from .freshness import FreshnessPolicy
 from .metrics import ExecutionMetrics, PartialFailure
 from .recovery import RetryPolicy
 from .scheduler import (
@@ -98,6 +99,7 @@ class ExecutionEngine:
         faults: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         executor: str = "row",
+        freshness: "FreshnessPolicy | None" = None,
     ) -> None:
         validate_worker_count(max_workers)  # reject 0/negative up front
         self.database = database
@@ -108,10 +110,16 @@ class ExecutionEngine:
         self.faults = faults
         self.retry_policy = retry_policy
         self.executor = validate_executor_name(executor)
+        self.freshness = freshness
         if faults and not parallel:
             raise ExecutionError(
                 "fault injection requires the fragment scheduler; construct "
                 "the engine with parallel=True"
+            )
+        if freshness is not None and not parallel:
+            raise ExecutionError(
+                "runtime freshness checking runs on the fragment scheduler's "
+                "simulated clock; construct the engine with parallel=True"
             )
 
     def execute(
@@ -152,6 +160,11 @@ class ExecutionEngine:
                 "fault injection requires the fragment scheduler; pass "
                 "parallel=True"
             )
+        if self.freshness is not None and not use_parallel:
+            raise ExecutionError(
+                "runtime freshness checking runs on the fragment scheduler's "
+                "simulated clock; pass parallel=True"
+            )
         recorder = current_recorder()
         query = None
         if recorder is not None:
@@ -169,6 +182,7 @@ class ExecutionEngine:
                     retry_policy=self.retry_policy,
                     compliance_guard=self.policy_guard,
                     executor=self.executor,
+                    freshness=self.freshness,
                 )
                 (columns, rows), metrics = scheduler.run(plan)
             else:

@@ -1,0 +1,110 @@
+"""Runtime freshness enforcement policy.
+
+PR 8's ``--max-staleness`` pruned replica candidates at *planning*
+time; a replica fresh when the plan was built could still serve
+arbitrarily stale rows at execution or failover time.  This module is
+the runtime half of the freshness model: a :class:`FreshnessPolicy`
+pairs a :class:`~repro.catalog.FreshnessTracker` (which derives each
+replica's staleness at any simulated instant from its refresh schedule)
+with an enforcement mode, and the fragment scheduler consults it at
+every scan-bearing admission and every failover decision — the bound is
+re-checked *at that instant*, never trusted from plan time.
+
+Modes
+-----
+``prefer-fresh``
+    Demote off any replica lagging the primary when a fresher legal
+    copy exists (soft demotion — a stale-within-bound read is committed
+    when nothing fresher is placeable); a bound violation always
+    demotes or degrades, never serves.
+``wait-for-refresh``
+    Park the fragment until the violating replica's next refresh
+    completion, bounded by the retry policy's fragment timeout; demote
+    when no refresh is coming or the wait would blow the timeout.
+``read-stale``
+    Serve any read within the bound without demotion or waiting
+    (bounded staleness, minimum disruption); violations still demote.
+``plan-only``
+    PR 8's behavior, kept as the experiment baseline: staleness is
+    *recorded* at every read but never enforced — this is the arm that
+    demonstrably serves bound-violating rows under a paused-refresh
+    fault, which the independent auditor then flags.
+"""
+
+from __future__ import annotations
+
+from ..catalog import FRESHNESS_EPS, FreshnessTracker
+from ..errors import InvalidParameterError
+from .fragments import Fragment, scan_sites
+from .metrics import ScanRead
+
+#: Enforcement modes, in CLI ``--staleness-policy`` order.
+FRESHNESS_MODES = ("prefer-fresh", "wait-for-refresh", "read-stale", "plan-only")
+
+#: Cap on wait-for-refresh iterations per admission: each round waits
+#: for the *latest* violating replica's refresh, so more than a handful
+#: of rounds means refreshes cannot outrun the bound at all.
+MAX_REFRESH_WAITS = 8
+
+
+class FreshnessPolicy:
+    """How the scheduler reacts to replica staleness at read time."""
+
+    def __init__(
+        self,
+        tracker: FreshnessTracker,
+        mode: str = "prefer-fresh",
+        max_staleness: float | None = None,
+    ) -> None:
+        if mode not in FRESHNESS_MODES:
+            raise InvalidParameterError(
+                f"unknown staleness policy {mode!r}; expected one of "
+                f"{', '.join(FRESHNESS_MODES)}"
+            )
+        if max_staleness is not None and max_staleness < 0:
+            raise InvalidParameterError(
+                f"max staleness bound must be >= 0 seconds, got {max_staleness}"
+            )
+        self.tracker = tracker
+        self.mode = mode
+        self.max_staleness = max_staleness
+
+    @property
+    def enforcing(self) -> bool:
+        """Whether staleness violations alter scheduling decisions
+        (``plan-only`` observes without enforcing)."""
+        return self.mode != "plan-only"
+
+    def within_bound(self, staleness: float) -> bool:
+        """Does a read at this staleness satisfy the bound?  (No bound
+        configured = any staleness is acceptable.)"""
+        if self.max_staleness is None:
+            return True
+        return staleness <= self.max_staleness + FRESHNESS_EPS
+
+    def replica_reads(self, fragment: Fragment, at: float) -> tuple[ScanRead, ...]:
+        """The fragment's base-table reads *from replica sites* at
+        instant ``at``, with each copy's current staleness.  Primary
+        reads are exact by definition and not tracked."""
+        reads = []
+        for database, table, site in scan_sites(fragment):
+            if not self.tracker.is_replica_site(database, table, site):
+                continue
+            staleness = self.tracker.staleness(database, table, site, at)
+            reads.append(ScanRead(database, table, site, at, staleness))
+        return tuple(reads)
+
+    def site_staleness(
+        self, fragment: Fragment, site: str, at: float
+    ) -> float:
+        """Worst-case staleness were the fragment's scans all read at
+        ``site`` at instant ``at`` (0.0 when every scan finds its
+        primary there).  Used by the failover planner to rank and
+        bound-filter candidate replica sites."""
+        worst = 0.0
+        for database, table, _ in scan_sites(fragment):
+            if self.tracker.is_replica_site(database, table, site):
+                worst = max(
+                    worst, self.tracker.staleness(database, table, site, at)
+                )
+        return worst

@@ -109,6 +109,26 @@ class RecoveryRecord:
     #: site holding a compliant replica of it; ``"replacement"`` for the
     #: classic ℰ-restricted re-placement of a scan-free fragment.
     kind: str = "replacement"
+    #: Staleness (seconds) of the demoted replica at the decision
+    #: instant, for ``reason == "stale"`` recoveries; ``None`` otherwise.
+    staleness_at_read: float | None = None
+
+
+@dataclass(frozen=True)
+class ScanRead:
+    """One base-table read committed by an admitted fragment: which
+    copy was read at which simulated instant, and how stale it was.
+
+    The freshness audit trail's unit of account — every admission of a
+    scan-bearing fragment under an active freshness policy records one
+    per scan, and the trace's ``scan_read`` events mirror them 1:1 so
+    runtime counters reconcile against the trace."""
+
+    database: str
+    table: str
+    site: str
+    at_seconds: float
+    staleness_seconds: float
 
 
 @dataclass
@@ -170,6 +190,20 @@ class ExecutionMetrics:
     #: a replica these were guaranteed ``PartialFailure``s (a scan's ℰ
     #: is a singleton without replicas, so no re-placement exists).
     partial_failures_avoided: int = 0
+    #: Base-table reads committed under an active freshness policy, one
+    #: per scan per admitted fragment (freshness runs only).
+    scan_reads: list[ScanRead] = field(default_factory=list)
+    #: Committed reads whose copy lagged the primary (staleness > 0) —
+    #: always within the bound when a freshness policy was enforcing.
+    stale_reads: int = 0
+    #: Admissions delayed until a violating replica's next refresh
+    #: (``wait-for-refresh`` policy only).
+    refresh_waits: int = 0
+    #: Total simulated seconds spent in those waits (inflates makespan).
+    refresh_wait_seconds: float = 0.0
+    #: Fragments demoted off a too-stale replica to a fresher legal copy
+    #: (the ``reason == "stale"`` subset of recoveries).
+    freshness_demotions: int = 0
     #: Set when the query degraded instead of completing; rows are empty.
     partial_failure: PartialFailure | None = None
 

@@ -223,6 +223,9 @@ class Failover:
     #: ``"replica"`` when the fragment scans a table (the new site reads
     #: a compliant replica); ``"replacement"`` for scan-free fragments.
     kind: str = "replacement"
+    #: Worst-case staleness the fragment's scans would read at the new
+    #: site at the decision instant (0.0 = all primaries / no tracker).
+    staleness: float = 0.0
 
 
 class FailoverPlanner:
@@ -240,11 +243,13 @@ class FailoverPlanner:
         evaluator=None,  # PolicyEvaluator | None
         all_locations: frozenset[str] | None = None,
         breakers=None,  # LinkGovernor | None
+        freshness=None,  # FreshnessPolicy | None
     ) -> None:
         self.network = network
         self.evaluator = evaluator
         self.all_locations = all_locations
         self.breakers = breakers
+        self.freshness = freshness
 
     def _open_links(
         self, dag: FragmentDAG, fragment: Fragment, site: str, at: float
@@ -293,6 +298,7 @@ class FailoverPlanner:
         unavailable: frozenset[str],
         reason: str,
         at: float = 0.0,
+        staleness_ceiling: float | None = None,
     ) -> Failover | None:
         """The cheapest compliant re-placement of fragment ``index``, or
         ``None`` when every candidate is illegal, unreachable, or fails
@@ -301,18 +307,47 @@ class FailoverPlanner:
         ``at`` is the simulated instant the failure was detected; with a
         breaker registry installed, candidates whose links are refused at
         that instant sort last (but remain candidates — an open link may
-        still be the only compliant option)."""
+        still be the only compliant option).
+
+        With a freshness policy installed, each candidate replica's
+        staleness is re-derived *at this instant*: a candidate violating
+        the bound is dropped outright (never chosen — a demotion must
+        not land on a copy as stale as the one it left), equally-priced
+        survivors rank freshest-first (then lexicographic site), and
+        ``staleness_ceiling`` (a soft prefer-fresh demotion's current
+        staleness) additionally requires a strictly fresher copy."""
         fragment = dag.fragments[index]
         candidates = failover_candidates(fragment, unavailable, self.all_locations)
+        kind = "replica" if fragment_scans(fragment) else "replacement"
+        staleness_of: dict[str, float] = {}
+        if self.freshness is not None and kind == "replica":
+            from ..catalog import FRESHNESS_EPS
+
+            for site in candidates:
+                staleness_of[site] = self.freshness.site_staleness(
+                    fragment, site, at
+                )
+            if self.freshness.enforcing:
+                candidates = tuple(
+                    site
+                    for site in candidates
+                    if self.freshness.within_bound(staleness_of[site])
+                )
+            if staleness_ceiling is not None:
+                candidates = tuple(
+                    site
+                    for site in candidates
+                    if staleness_of[site] + FRESHNESS_EPS < staleness_ceiling
+                )
         ranked = sorted(
             candidates,
             key=lambda site: (
                 self._open_links(dag, fragment, site, at),
                 self._relocation_cost(dag, fragment, site),
+                staleness_of.get(site, 0.0),
                 site,
             ),
         )
-        kind = "replica" if fragment_scans(fragment) else "replacement"
         for site in ranked:
             candidate_plan = relocate_fragment(plan, fragment, site)
             validated = False
@@ -337,5 +372,6 @@ class FailoverPlanner:
                 dag=new_dag,
                 validated=validated,
                 kind=kind,
+                staleness=staleness_of.get(site, 0.0),
             )
         return None

@@ -59,26 +59,37 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 
+from ..catalog import FRESHNESS_EPS
 from ..errors import (
     CircuitOpenError,
     DeadlineExceeded,
     ExecutionError,
     FaultError,
     FragmentTimeoutError,
+    ReplicaStaleError,
     SiteUnavailableError,
     TransferError,
 )
 from ..geo import FaultAwareNetwork, GeoDatabase, LinkGovernor, NetworkModel
-from ..trace import RecoveryEvent, ShipEvent, current_recorder, encode_payload
+from ..trace import (
+    RecoveryEvent,
+    ScanReadEvent,
+    ShipEvent,
+    annotate_payload_reads,
+    current_recorder,
+    encode_payload,
+)
 from ..validation import validate_positive_int, validate_timeout
 from ..plan import PhysicalPlan, Ship
 from .faults import FaultPlan
 from .fragments import Fragment, FragmentDAG, fragment_plan
+from .freshness import MAX_REFRESH_WAITS, FreshnessPolicy
 from .metrics import (
     ExecutionMetrics,
     FragmentRecord,
     PartialFailure,
     RecoveryRecord,
+    ScanRead,
     ShipRecord,
 )
 from .operators import OperatorExecutor, RowBatch
@@ -189,6 +200,7 @@ class FragmentScheduler:
         compliance_guard=None,  # PolicyEvaluator | None
         executor: str = "row",
         breakers: LinkGovernor | None = None,
+        freshness: FreshnessPolicy | None = None,
     ) -> None:
         self.database = database
         self.network = network
@@ -198,6 +210,7 @@ class FragmentScheduler:
         self.compliance_guard = compliance_guard
         self.executor = validate_executor_name(executor)
         self.breakers = breakers
+        self.freshness = freshness
 
     def run(
         self,
@@ -263,7 +276,9 @@ class _ChaosRun:
             evaluator=scheduler.compliance_guard,
             all_locations=frozenset(scheduler.database.catalog.locations),
             breakers=scheduler.breakers,
+            freshness=scheduler.freshness,
         )
+        self.freshness = scheduler.freshness
         self.results: dict[int, tuple[RowBatch, float]] = {}
         self.fragment_metrics: dict[int, ExecutionMetrics] = {
             f.index: ExecutionMetrics() for f in self.dag.fragments
@@ -287,6 +302,18 @@ class _ChaosRun:
         self.replica_failovers = 0
         self.replica_switches_breaker = 0
         self.partial_failures_avoided = 0
+        #: Every base-table read committed under an active freshness
+        #: policy (in commit order), and the derived counters.  A
+        #: fragment recomputed after a failover contributes both its
+        #: original and its re-reads — both genuinely happened.
+        self.scan_reads: list[ScanRead] = []
+        self.stale_reads = 0
+        self.refresh_waits = 0
+        self.refresh_wait_seconds = 0.0
+        self.freshness_demotions = 0
+        #: Latest committed reads per fragment, for annotating that
+        #: producer's payload descriptor and ship events.
+        self._scan_reads: dict[int, tuple[ScanRead, ...]] = {}
         #: Sites a fragment has already failed at (never retried).
         self._excluded: dict[int, set[str]] = {}
         #: Trace recorder resolved once on the coordinator thread (the
@@ -438,6 +465,15 @@ class _ChaosRun:
                 error.at = start
                 not_before = self._failover(index, error, start)
                 continue
+            if self.freshness is not None:
+                action, when = self._freshness_gate(index, start)
+                if action == "retry":
+                    # Demoted to a fresher copy: re-admit there (the
+                    # buffered input records are discarded — the new
+                    # site needs its own deliveries).
+                    not_before = when
+                    continue
+                start = when
             for producer, record, delivered in records:
                 self.ship_records[producer] = record
                 self.delivered[producer] = delivered
@@ -473,6 +509,129 @@ class _ChaosRun:
         raise AssertionError(  # pragma: no cover - transfer endpoints are inputs
             f"no producer of f{fragment.index} at {site!r}"
         )
+
+    # -- coordinator: runtime freshness ------------------------------------------
+
+    def _freshness_gate(self, index: int, start: float) -> tuple[str, float]:
+        """Re-check replica staleness for fragment ``index`` at its
+        admission instant ``start`` — the runtime half of the freshness
+        model (plan-time filtering already happened; the copies may have
+        aged since).  Returns ``("commit", start')`` once the reads are
+        committed (``start'`` > ``start`` after a refresh wait), or
+        ``("retry", t)`` after a demotion to a fresher site re-placed
+        the fragment.  Raises :class:`ReplicaStaleError` when
+        enforcement finds no legal alternative — the caller degrades the
+        query to a partial failure rather than serve a violating read."""
+        policy = self.freshness
+        fragment = self.dag.fragments[index]
+        reads = policy.replica_reads(fragment, start)
+        if not reads or not policy.enforcing:
+            self._commit_reads(index, reads)
+            return ("commit", start)
+        violations = [
+            r for r in reads if not policy.within_bound(r.staleness_seconds)
+        ]
+        if violations and policy.mode == "wait-for-refresh":
+            waited = self._wait_for_refresh(index, fragment, start, violations)
+            if waited is not None:
+                return ("commit", waited)
+            # No refresh is coming (or none inside the fragment
+            # timeout): fall through to demotion.
+        if violations:
+            worst = max(r.staleness_seconds for r in violations)
+            error = ReplicaStaleError(
+                f"fragment f{index} would read "
+                f"{', '.join(sorted(set(f'{r.database}.{r.table}@{r.site}' for r in violations)))} "
+                f"at staleness {worst:.3f}s, over the "
+                f"{policy.max_staleness:g}s bound at t={start:.3f}s",
+                site=fragment.location,
+                staleness=worst,
+                bound=policy.max_staleness,
+            )
+            error.at = start
+            return ("retry", self._failover(index, error, start))
+        worst = max(r.staleness_seconds for r in reads)
+        if policy.mode == "prefer-fresh" and worst > FRESHNESS_EPS:
+            # In-bound but lagging: demote softly — only if a strictly
+            # fresher legal copy is actually placeable; otherwise the
+            # stale-within-bound read is committed as-is.
+            error = ReplicaStaleError(
+                f"fragment f{index} prefers a copy fresher than "
+                f"{worst:.3f}s-stale {fragment.location!r} at t={start:.3f}s",
+                site=fragment.location,
+                staleness=worst,
+                bound=policy.max_staleness,
+            )
+            error.at = start
+            resume = self._failover(
+                index, error, start, soft=True, staleness_ceiling=worst
+            )
+            if resume is not None:
+                return ("retry", resume)
+        self._commit_reads(index, reads)
+        return ("commit", start)
+
+    def _wait_for_refresh(
+        self,
+        index: int,
+        fragment: Fragment,
+        start: float,
+        violations: list[ScanRead],
+    ) -> float | None:
+        """Park the fragment until every violating replica has refreshed
+        within the bound, charging the wait to the simulated clock.
+        Returns the post-wait admission instant with the reads
+        committed, or ``None`` when waiting cannot help (a refresh is
+        never coming, the wait would blow the fragment timeout, or the
+        schedules cannot outrun the bound)."""
+        policy = self.freshness
+        timeout = self.policy.fragment_timeout
+        now = start
+        pending = violations
+        for _ in range(MAX_REFRESH_WAITS):
+            target = now
+            for read in pending:
+                refresh = policy.tracker.next_refresh(
+                    read.database, read.table, read.site, now
+                )
+                if refresh is None:
+                    return None  # paused forever / no schedule
+                target = max(target, refresh)
+            if timeout is not None and target - start > timeout:
+                return None
+            reads = policy.replica_reads(fragment, target)
+            pending = [
+                r for r in reads if not policy.within_bound(r.staleness_seconds)
+            ]
+            if not pending:
+                self.refresh_waits += 1
+                self.refresh_wait_seconds += target - start
+                self._commit_reads(index, reads)
+                return target
+            now = target
+        return None
+
+    def _commit_reads(self, index: int, reads: tuple[ScanRead, ...]) -> None:
+        """Account fragment ``index``'s base-table reads: counters, the
+        metrics trail, and one ``scan_read`` trace event per read so the
+        runtime counters reconcile 1:1 against the trace."""
+        self._scan_reads[index] = reads
+        self.scan_reads.extend(reads)
+        for read in reads:
+            if read.staleness_seconds > FRESHNESS_EPS:
+                self.stale_reads += 1
+            if self.recorder is not None:
+                self.recorder.emit(
+                    ScanReadEvent(
+                        at=read.at_seconds,
+                        fragment=index,
+                        database=read.database,
+                        table=read.table,
+                        site=read.site,
+                        staleness_at_read=read.staleness_seconds,
+                    ),
+                    stable=False,
+                )
 
     def _transfer(
         self,
@@ -590,7 +749,17 @@ class _ChaosRun:
         payload = self._payload_cache.get(producer_index)
         if payload is None:
             payload = encode_payload(self.dag.fragments[producer_index].root)
+            reads = self._scan_reads.get(producer_index)
+            if reads:
+                # Stamp each scan descriptor with the staleness its
+                # committed read actually saw, so the payload is a
+                # self-contained freshness claim the auditor re-derives.
+                payload = annotate_payload_reads(payload, reads)
             self._payload_cache[producer_index] = payload
+        reads = self._scan_reads.get(producer_index)
+        staleness = (
+            max(r.staleness_seconds for r in reads) if reads else None
+        )
         self.recorder.emit(
             ShipEvent(
                 at=at,
@@ -605,22 +774,36 @@ class _ChaosRun:
                 consumer=consumer_index,
                 columns=list(batch.columns),
                 payload=payload,
+                staleness_at_read=staleness,
             ),
             stable=False,
         )
 
-    def _failover(self, index: int, error: FaultError, detected: float) -> float:
+    def _failover(
+        self,
+        index: int,
+        error: FaultError,
+        detected: float,
+        soft: bool = False,
+        staleness_ceiling: float | None = None,
+    ) -> float | None:
         """Re-place fragment ``index`` after ``error``, compliance
         checks included; returns the earliest simulated instant work may
         resume.  Raises the original error when no legal placement
-        exists — the caller turns that into a partial failure."""
+        exists — the caller turns that into a partial failure — unless
+        ``soft`` (a prefer-fresh demotion of an *in-bound* read, where
+        staying put is legal): then ``None`` is returned and the caller
+        commits the stale-within-bound read instead."""
         if len(self.recoveries) >= self.MAX_RECOVERIES:
+            if soft:
+                return None
             raise error
         fragment = self.dag.fragments[index]
         excluded = self._excluded.setdefault(index, set())
-        excluded.add(fragment.location)
         unavailable = (
-            self.scheduler.faults.crashed_sites(detected) | frozenset(excluded)
+            self.scheduler.faults.crashed_sites(detected)
+            | frozenset(excluded)
+            | frozenset({fragment.location})
         )
         failover = self.planner.plan_failover(
             self.plan,
@@ -629,9 +812,17 @@ class _ChaosRun:
             frozenset(unavailable),
             reason=str(error),
             at=detected,
+            staleness_ceiling=staleness_ceiling,
         )
         if failover is None:
+            if soft:
+                return None
             raise error
+        stale_demotion = isinstance(error, ReplicaStaleError)
+        if not soft:
+            # A soft demotion leaves the old site legal (its read was
+            # within bound); hard failures never retry the failed site.
+            excluded.add(fragment.location)
         self.plan = failover.plan
         self.dag = failover.dag
         if failover.kind == "replica":
@@ -640,6 +831,8 @@ class _ChaosRun:
             # trace would misreport post-failover re-reads.
             self._payload_cache.pop(index, None)
             self.replica_failovers += 1
+            if stale_demotion:
+                self.freshness_demotions += 1
             if isinstance(error, CircuitOpenError):
                 self.replica_switches_breaker += 1
             if (
@@ -659,6 +852,7 @@ class _ChaosRun:
                 at_seconds=detected,
                 validated=failover.validated,
                 kind=failover.kind,
+                staleness_at_read=error.staleness if stale_demotion else None,
             )
         )
         if self.recorder is not None:
@@ -671,6 +865,9 @@ class _ChaosRun:
                     reason=failover.reason,
                     validated=failover.validated,
                     failover_kind=failover.kind,
+                    staleness_at_read=(
+                        error.staleness if stale_demotion else None
+                    ),
                 ),
                 stable=False,
             )
@@ -689,13 +886,27 @@ class _ChaosRun:
         the query to a partial failure."""
         fragment = self.dag.fragments[index]
         start = not_before
+        records: list[tuple[int, ShipRecord, float]] = []
         for entry in fragment.inputs:
             delivered, record = self._transfer(
                 entry.producer, fragment.location, not_before, consumer_index=index
             )
-            self.ship_records[entry.producer] = record
-            self.delivered[entry.producer] = delivered
+            records.append((entry.producer, record, delivered))
             start = max(start, delivered)
+        if self.freshness is not None:
+            # The re-placed copy is re-read at the *re-delivery*
+            # instant, which may be later than the failover decision —
+            # re-check and re-commit its reads at that instant.
+            action, when = self._freshness_gate(index, start)
+            if action == "retry":
+                # Demoted again: the nested failover already re-ran
+                # this method for the newest site, so everything below
+                # (including ``ready``) is committed.
+                return
+            start = when
+        for producer, record, delivered in records:
+            self.ship_records[producer] = record
+            self.delivered[producer] = delivered
         self.ready[index] = start
 
     # -- accounting -------------------------------------------------------------
@@ -740,6 +951,11 @@ class _ChaosRun:
         merged.replica_failovers = self.replica_failovers
         merged.replica_switches_breaker = self.replica_switches_breaker
         merged.partial_failures_avoided = self.partial_failures_avoided
+        merged.scan_reads = list(self.scan_reads)
+        merged.stale_reads = self.stale_reads
+        merged.refresh_waits = self.refresh_waits
+        merged.refresh_wait_seconds = self.refresh_wait_seconds
+        merged.freshness_demotions = self.freshness_demotions
         merged.start_at_seconds = self.start_at
         if self.failure is not None:
             merged.makespan_seconds = max(

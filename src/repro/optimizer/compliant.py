@@ -49,6 +49,10 @@ class OptimizationResult:
     #: The evaluator that validated it — executors only skip their own
     #: guard when it is the *same* evaluator they would check with.
     validated_by: PolicyEvaluator | None = None
+    #: The staleness bound the plan was optimized under (the optimizer's
+    #: ``max_staleness``); recorded into the trace so the auditor judges
+    #: each read against the *traced* bound.
+    max_staleness: float | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -139,6 +143,7 @@ class CompliantOptimizer:
                     cache_hit=True,
                     compliance_validated=entry.validated,
                     validated_by=self.evaluator if entry.validated else None,
+                    max_staleness=self.max_staleness,
                 )
                 recorder = current_recorder()
                 if recorder is not None:
@@ -203,6 +208,7 @@ class CompliantOptimizer:
             validated_by=(
                 self.evaluator if entry is not None and entry.validated else None
             ),
+            max_staleness=self.max_staleness,
         )
         recorder = current_recorder()
         if recorder is not None:

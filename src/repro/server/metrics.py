@@ -56,6 +56,19 @@ class ServerMetrics:
     #: Replica failovers of fragments whose own scan site died —
     #: guaranteed ``PartialFailure``s in a replica-free catalog.
     partial_failures_avoided: int = 0
+    #: Committed replica reads whose staleness exceeded zero (within the
+    #: bound — bound-violating reads are never committed by an enforcing
+    #: freshness policy).
+    stale_reads: int = 0
+    #: Fragment admissions deferred until a pending refresh landed
+    #: (``wait-for-refresh`` policy only).
+    refresh_waits: int = 0
+    #: Total simulated time spent in those refresh waits.
+    refresh_wait_seconds: float = 0.0
+    #: Replica failovers forced or preferred because the current site's
+    #: data was stale at the admission instant (a subset of
+    #: :attr:`replica_failovers`).
+    freshness_demotions: int = 0
     #: Plan-cache lookups during this run that reused a cached template
     #: (0 when the optimizer carries no plan cache).
     plan_cache_hits: int = 0
@@ -108,6 +121,16 @@ class ServerMetrics:
                 f"{self.replica_switches_breaker} breaker-steered, "
                 f"{self.partial_failures_avoided} partial failures avoided)"
                 if self.replica_failovers
+                else ""
+            )
+            + (
+                f"; {self.stale_reads} stale reads, "
+                f"{self.refresh_waits} refresh waits "
+                f"({self.refresh_wait_seconds:.3f}s), "
+                f"{self.freshness_demotions} freshness demotions"
+                if self.stale_reads
+                or self.refresh_waits
+                or self.freshness_demotions
                 else ""
             )
             + (

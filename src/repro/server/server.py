@@ -145,6 +145,7 @@ class QueryServer:
         retry_policy: RetryPolicy | None = None,
         executor: str = "row",
         max_workers: int | None = None,
+        freshness=None,  # FreshnessPolicy | None — runtime staleness checks
     ) -> None:
         self.database = database
         self.network = network
@@ -168,6 +169,7 @@ class QueryServer:
             compliance_guard=evaluator,
             executor=executor,
             breakers=breakers,
+            freshness=freshness,
         )
         self._plan_cache: dict[str, PhysicalPlan] = {}
 
@@ -451,6 +453,14 @@ class QueryServer:
                 )
                 metrics.partial_failures_avoided += (
                     outcome.metrics.partial_failures_avoided
+                )
+                metrics.stale_reads += outcome.metrics.stale_reads
+                metrics.refresh_waits += outcome.metrics.refresh_waits
+                metrics.refresh_wait_seconds += (
+                    outcome.metrics.refresh_wait_seconds
+                )
+                metrics.freshness_demotions += (
+                    outcome.metrics.freshness_demotions
                 )
         metrics.finished_at_seconds = last_event
         if self.breakers is not None:

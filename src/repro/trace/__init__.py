@@ -14,11 +14,14 @@ docs/OBSERVABILITY.md.
 
 from .auditor import AuditReport, ComplianceAuditor, ComplianceViolation
 from .codec import (
+    annotate_payload_reads,
     decode_expression,
     decode_logical,
     encode_expression,
     encode_logical,
     encode_payload,
+    payload_reads,
+    strip_payload_reads,
 )
 from .events import (
     EVENT_TYPES,
@@ -29,6 +32,7 @@ from .events import (
     QueryStart,
     RecoveryEvent,
     RequestEvent,
+    ScanReadEvent,
     ShipEvent,
     TraceEvent,
     event_from_dict,
@@ -53,9 +57,11 @@ __all__ = [
     "RecoveryEvent",
     "RequestEvent",
     "SHIP_OUTCOMES",
+    "ScanReadEvent",
     "ShipEvent",
     "TraceEvent",
     "TraceRecorder",
+    "annotate_payload_reads",
     "current_recorder",
     "decode_expression",
     "decode_logical",
@@ -64,6 +70,8 @@ __all__ = [
     "encode_payload",
     "event_from_dict",
     "parse_trace",
+    "payload_reads",
     "read_trace",
+    "strip_payload_reads",
     "tracing",
 ]

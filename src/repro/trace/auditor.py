@@ -47,11 +47,23 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from ..catalog import FRESHNESS_EPS, FreshnessTracker
+from ..errors import CatalogError, FreshnessAuditError
 from ..policy import PolicyCatalog, PolicyEvaluator, describe_local_query
 from ..plan import LogicalPlan, LogicalScan, LogicalUnion
-from .codec import decode_logical
-from .events import RecoveryEvent, ShipEvent, TraceEvent
+from .codec import decode_logical, payload_reads, strip_payload_reads
+from .events import (
+    OptimizedEvent,
+    RecoveryEvent,
+    ScanReadEvent,
+    ShipEvent,
+    TraceEvent,
+)
 from .recorder import read_trace
+
+#: Tolerance when comparing a trace's recorded staleness against the
+#: auditor's independent re-derivation (serialization round-trips).
+_MISREPORT_TOLERANCE = 1e-6
 
 
 @dataclass(frozen=True)
@@ -61,7 +73,8 @@ class ComplianceViolation:
     query: int
     at: float
     #: "forbidden-destination" | "displaced-scan" |
-    #: "non-compliant-replica" | "unauditable"
+    #: "non-compliant-replica" | "unauditable" | "stale-read" |
+    #: "freshness-misreport"
     category: str
     source: str
     target: str
@@ -89,6 +102,15 @@ class AuditReport:
     payloads: int = 0
     #: Failovers recorded without a compliance guard (informational).
     unvalidated_recoveries: int = 0
+    #: Committed base-table reads audited (``scan_read`` events), and
+    #: the per-read freshness verdicts re-derived from the catalog's
+    #: refresh schedules: exact (staleness ~ 0), lagging but within the
+    #: query's bound, or over the bound (each of the latter is also a
+    #: ``stale-read`` violation).
+    scan_reads: int = 0
+    fresh_reads: int = 0
+    stale_within_bound: int = 0
+    bound_violated: int = 0
     violations: list[ComplianceViolation] = field(default_factory=list)
 
     @property
@@ -101,21 +123,45 @@ class AuditReport:
             if self.ok
             else f"NON-COMPLIANT ({len(self.violations)} violations)"
         )
-        return (
+        text = (
             f"audit: {verdict} — {self.events} events, {self.queries} queries, "
             f"{self.attempts} transfer attempts ({self.cross_border} "
             f"cross-border), {self.payloads} distinct payloads"
         )
+        if self.scan_reads:
+            text += (
+                f"; {self.scan_reads} replica reads ({self.fresh_reads} fresh, "
+                f"{self.stale_within_bound} stale-within-bound, "
+                f"{self.bound_violated} bound-violated)"
+            )
+        return text
 
 
 class ComplianceAuditor:
     """Audits traces against one policy catalog (and its schema)."""
 
-    def __init__(self, policies: PolicyCatalog) -> None:
+    def __init__(
+        self,
+        policies: PolicyCatalog,
+        freshness: FreshnessTracker | None = None,
+        max_staleness: float | None = None,
+    ) -> None:
         self.policies = policies
         self.evaluator = PolicyEvaluator(policies)
+        #: Independent staleness re-derivation from the catalog's
+        #: declared replicas and refresh schedules.  ``None`` is fine
+        #: for traces without freshness evidence; auditing a trace that
+        #: *carries* freshness claims without a tracker fails closed
+        #: with :class:`~repro.errors.FreshnessAuditError`.
+        self.freshness = freshness
+        #: Fallback staleness bound for queries whose ``optimized``
+        #: event recorded none (pre-freshness traces, or runs with the
+        #: bound set purely at the scheduler).
+        self.max_staleness = max_staleness
         #: permitted-set cache keyed by canonical payload JSON — retry
-        #: and failover attempts re-ship the same payload.
+        #: and failover attempts re-ship the same payload.  Freshness
+        #: annotations are stripped from the key: re-reads of the same
+        #: subquery at different instants are compliance-identical.
         self._permitted_cache: dict[str, frozenset[str]] = {}
         #: Independent replica re-derivation: per (database, table) the
         #: 𝒜 grant of the bare full-table scan, used to confirm that a
@@ -149,19 +195,37 @@ class ComplianceAuditor:
     # -- auditing ---------------------------------------------------------------
 
     def audit_events(self, events: Iterable[TraceEvent]) -> AuditReport:
+        events = list(events)
         report = AuditReport()
         seen_queries: set[int] = set()
         seen_scans: set[tuple[int, str, str, str]] = set()
+        seen_claims: set[tuple] = set()
+        #: Per-query staleness bound, from each query's optimized event
+        #: (collected up front — auditing must not depend on event
+        #: order) with the constructor's bound as the fallback.
+        bounds: dict[int, float] = {}
+        for event in events:
+            if (
+                isinstance(event, OptimizedEvent)
+                and event.max_staleness is not None
+            ):
+                bounds[event.query] = event.max_staleness
         for event in events:
             report.events += 1
             if event.query:
                 seen_queries.add(event.query)
             if isinstance(event, RecoveryEvent) and not event.validated:
                 report.unvalidated_recoveries += 1
+            if isinstance(event, ScanReadEvent):
+                self._audit_scan_read(
+                    event, bounds.get(event.query, self.max_staleness), report
+                )
+                continue
             if not isinstance(event, ShipEvent):
                 continue
             report.attempts += 1
             self._audit_ship(event, report, seen_scans)
+            self._audit_ship_freshness(event, seen_claims, report)
         report.queries = len(seen_queries)
         report.payloads = len(self._permitted_cache)
         return report
@@ -191,7 +255,11 @@ class ComplianceAuditor:
                 )
             )
             return
-        key = json.dumps(event.payload, sort_keys=True, separators=(",", ":"))
+        key = json.dumps(
+            strip_payload_reads(event.payload),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
         permitted = self._permitted_cache.get(key)
         payload = decode_logical(event.payload)
         self._audit_scan_sites(event, payload, report, seen_scans)
@@ -288,4 +356,144 @@ class ComplianceAuditor:
                         f"data was read across a border without a SHIP"
                     ),
                 )
+            )
+
+    # -- freshness auditing ------------------------------------------------------
+
+    def _derived_staleness(
+        self, database: str, table: str, site: str, at: float
+    ) -> float:
+        """The auditor's own staleness derivation for one claimed read;
+        fails closed when the catalog state needed to derive it was not
+        provided (the claim must never audit as fresh by default)."""
+        if self.freshness is None:
+            raise FreshnessAuditError(
+                "trace carries freshness evidence (scan_read events or "
+                "staleness_at_read annotations) but the auditor has no "
+                "freshness tracker — re-run `repro audit` with the traced "
+                "run's --replicas (and, for scheduled replicas, --refresh) "
+                "so staleness can be independently re-derived"
+            )
+        try:
+            return self.freshness.staleness(database, table, site, at)
+        except CatalogError as error:
+            raise FreshnessAuditError(
+                f"cannot re-derive the staleness of {database}.{table} read "
+                f"at {site!r} (t={at:.3f}s): {error}. The audit-side catalog "
+                f"must mirror the traced run — pass the same --replicas and "
+                f"--refresh specs the run used"
+            ) from error
+
+    def _audit_scan_read(
+        self, event: ScanReadEvent, bound: float | None, report: AuditReport
+    ) -> None:
+        """Re-derive one committed read's staleness and give the
+        three-way freshness verdict: fresh / stale-within-bound /
+        bound-violated.  The verdict always uses the *derived* value —
+        a recorded claim that disagrees is itself a violation."""
+        derived = self._derived_staleness(
+            event.database, event.table, event.site, event.at
+        )
+        if abs(derived - event.staleness_at_read) > _MISREPORT_TOLERANCE:
+            report.violations.append(
+                ComplianceViolation(
+                    query=event.query,
+                    at=event.at,
+                    category="freshness-misreport",
+                    source=event.site,
+                    target=event.site,
+                    permitted=(),
+                    message=(
+                        f"scan_read of {event.database}.{event.table} at "
+                        f"{event.site!r} recorded staleness "
+                        f"{event.staleness_at_read:.6f}s but the refresh "
+                        f"schedules derive {derived:.6f}s — the trace "
+                        f"misreports freshness (or the audit-side --refresh "
+                        f"spec differs from the traced run's)"
+                    ),
+                )
+            )
+        report.scan_reads += 1
+        if derived <= FRESHNESS_EPS:
+            report.fresh_reads += 1
+        elif bound is None or derived <= bound + FRESHNESS_EPS:
+            report.stale_within_bound += 1
+        else:
+            report.bound_violated += 1
+            report.violations.append(
+                ComplianceViolation(
+                    query=event.query,
+                    at=event.at,
+                    category="stale-read",
+                    source=event.site,
+                    target=event.site,
+                    permitted=(),
+                    message=(
+                        f"fragment f{event.fragment} read "
+                        f"{event.database}.{event.table} at {event.site!r} "
+                        f"with staleness {derived:.3f}s, over the query's "
+                        f"{bound:g}s bound"
+                    ),
+                )
+            )
+
+    def _audit_ship_freshness(
+        self, event: ShipEvent, seen_claims: set[tuple], report: AuditReport
+    ) -> None:
+        """Cross-check the freshness claims riding on a shipped payload
+        (one per annotated scan descriptor) against the auditor's own
+        derivation, deduplicated per distinct claim — retries re-ship
+        the same annotated payload."""
+        if event.payload is None:
+            return
+        annotated = payload_reads(event.payload)
+        if not annotated and event.staleness_at_read is None:
+            return
+        for node in annotated:
+            database = node.get("database")
+            table = node.get("table")
+            site = node.get("location")
+            read_at = node.get("read_at")
+            claimed = node.get("staleness_at_read")
+            dedup = (event.query, database, table, site, read_at, claimed)
+            if dedup in seen_claims:
+                continue
+            seen_claims.add(dedup)
+            if not isinstance(read_at, (int, float)) or not isinstance(
+                claimed, (int, float)
+            ):
+                raise FreshnessAuditError(
+                    f"payload scan of {database}.{table} at {site!r} carries "
+                    f"malformed freshness annotations "
+                    f"(read_at={read_at!r}, staleness_at_read={claimed!r})"
+                )
+            derived = self._derived_staleness(database, table, site, read_at)
+            if abs(derived - claimed) > _MISREPORT_TOLERANCE:
+                report.violations.append(
+                    ComplianceViolation(
+                        query=event.query,
+                        at=event.at,
+                        category="freshness-misreport",
+                        source=site,
+                        target=event.target,
+                        permitted=(),
+                        message=(
+                            f"shipped payload claims the replica of "
+                            f"{database}.{table} at {site!r} was "
+                            f"{claimed:.6f}s stale at t={read_at:.3f}s, but "
+                            f"the refresh schedules derive {derived:.6f}s — "
+                            f"the payload misreports freshness (or the "
+                            f"audit-side --refresh spec differs from the "
+                            f"traced run's)"
+                        ),
+                    )
+                )
+        if event.staleness_at_read is not None and not annotated:
+            # A staleness claim with no annotated scan to back it: the
+            # claim cannot be tied to any copy, so it is unverifiable.
+            raise FreshnessAuditError(
+                f"ship {event.source} -> {event.target} claims "
+                f"staleness_at_read={event.staleness_at_read:g}s but its "
+                f"payload carries no annotated scan to verify the claim "
+                f"against — the trace's freshness evidence is inconsistent"
             )

@@ -358,3 +358,82 @@ def encode_payload(physical: Any) -> dict[str, Any]:
     from ..optimizer.validator import to_logical
 
     return encode_logical(to_logical(physical))
+
+
+# -- freshness annotations -----------------------------------------------------
+#
+# When a freshness policy is active, every scan descriptor inside a
+# shipped payload is stamped with the read it committed: the simulated
+# instant (``read_at``) and the staleness the copy had then
+# (``staleness_at_read``).  The keys ride alongside the structural
+# fields — ``decode_logical`` ignores them, so annotated payloads stay
+# decodable by pre-freshness readers — and the auditor re-derives each
+# claim independently from the catalog's refresh schedules.
+
+#: Scan-descriptor keys carrying the freshness claim.
+PAYLOAD_READ_KEYS = ("read_at", "staleness_at_read")
+
+
+def annotate_payload_reads(payload: dict[str, Any], reads) -> dict[str, Any]:
+    """A copy of ``payload`` with each scan descriptor stamped by its
+    matching committed read (``reads`` is an iterable of objects with
+    ``database``/``table``/``site``/``at_seconds``/``staleness_seconds``,
+    i.e. :class:`~repro.execution.metrics.ScanRead`).  Scans without a
+    matching read (primary reads) are left unstamped."""
+    by_copy = {(r.database, r.table.lower(), r.site): r for r in reads}
+
+    def walk(node: Any) -> Any:
+        if isinstance(node, dict):
+            out = {key: walk(value) for key, value in node.items()}
+            if out.get("o") == "scan":
+                read = by_copy.get(
+                    (out.get("database"), str(out.get("table", "")).lower(), out.get("location"))
+                )
+                if read is not None:
+                    out["read_at"] = read.at_seconds
+                    out["staleness_at_read"] = read.staleness_seconds
+            return out
+        if isinstance(node, list):
+            return [walk(item) for item in node]
+        return node
+
+    return walk(payload)
+
+
+def payload_reads(payload: dict[str, Any]) -> list[dict[str, Any]]:
+    """Every annotated scan descriptor in ``payload`` (each carries the
+    structural scan keys plus :data:`PAYLOAD_READ_KEYS`), in tree
+    order.  Empty for un-annotated payloads."""
+    found: list[dict[str, Any]] = []
+
+    def walk(node: Any) -> None:
+        if isinstance(node, dict):
+            if node.get("o") == "scan" and "staleness_at_read" in node:
+                found.append(node)
+            for value in node.values():
+                walk(value)
+        elif isinstance(node, list):
+            for item in node:
+                walk(item)
+
+    walk(payload)
+    return found
+
+
+def strip_payload_reads(payload: dict[str, Any]) -> dict[str, Any]:
+    """A copy of ``payload`` without freshness annotations — the purely
+    structural descriptor, suitable as a cache key (re-reads of the same
+    subquery at different instants are compliance-identical)."""
+
+    def walk(node: Any) -> Any:
+        if isinstance(node, dict):
+            return {
+                key: walk(value)
+                for key, value in node.items()
+                if key not in PAYLOAD_READ_KEYS
+            }
+        if isinstance(node, list):
+            return [walk(item) for item in node]
+        return node
+
+    return walk(payload)

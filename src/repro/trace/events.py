@@ -86,6 +86,10 @@ class OptimizedEvent(TraceEvent):
     #: template's).  Defaults to False so pre-cache traces stay
     #: parseable.
     plan_cache_hit: bool = False
+    #: The query's staleness bound in seconds (``--max-staleness``),
+    #: recorded so the independent auditor re-derives per-scan freshness
+    #: verdicts against the *traced* bound.  ``None`` = no bound.
+    max_staleness: float | None = None
 
 
 @dataclass
@@ -136,6 +140,11 @@ class ShipEvent(TraceEvent):
     columns: list[str] = dataclasses.field(default_factory=list)
     #: Self-contained payload descriptor (see :mod:`repro.trace.codec`).
     payload: dict[str, Any] | None = None
+    #: Worst staleness (seconds) among the producer fragment's committed
+    #: replica reads — the freshness claim shipped with the data.
+    #: ``None`` when the producer read no replica (or no freshness
+    #: policy was active); defaults keep pre-freshness traces parseable.
+    staleness_at_read: float | None = None
 
 
 @dataclass
@@ -157,6 +166,29 @@ class RecoveryEvent(TraceEvent):
     #: re-placement.  Named ``failover_kind`` because ``kind`` is the
     #: event-type tag; defaults keep pre-replica traces parseable.
     failover_kind: str = "replacement"
+    #: Staleness (seconds) of the demoted replica at the decision
+    #: instant, for freshness demotions; ``None`` for every other
+    #: failover reason.
+    staleness_at_read: float | None = None
+
+
+@dataclass
+class ScanReadEvent(TraceEvent):
+    """One committed base-table read from a replica site: which copy a
+    fragment actually read, at which simulated instant (``at``), and
+    how stale that copy was.  Emitted once per replica scan per
+    admitted fragment when a freshness policy is active — the unit the
+    auditor's freshness verdicts and the ``stale_reads`` counter
+    reconcile over."""
+
+    kind: ClassVar[str] = "scan_read"
+    rank: ClassVar[int] = 4
+
+    fragment: int = 0
+    database: str = ""
+    table: str = ""
+    site: str = ""
+    staleness_at_read: float = 0.0
 
 
 @dataclass
@@ -180,6 +212,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         RequestEvent,
         ShipEvent,
         RecoveryEvent,
+        ScanReadEvent,
         QueryEnd,
     )
 }
@@ -195,6 +228,7 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
     "request": ("action", "label"),
     "ship": ("source", "target", "bytes", "attempt", "outcome"),
     "recovery": ("fragment", "source", "target"),
+    "scan_read": ("database", "table", "site", "staleness_at_read"),
     "query_end": ("status",),
 }
 

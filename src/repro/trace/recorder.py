@@ -148,6 +148,7 @@ class TraceRecorder:
                 groups=result.annotate.group_count,
                 expressions=result.annotate.expression_count,
                 plan_cache_hit=getattr(result, "cache_hit", False),
+                max_staleness=getattr(result, "max_staleness", None),
             )
         )
         self.record_placements(result.plan)

@@ -1,0 +1,214 @@
+"""Refresh schedules, the --refresh spec grammar, and the tracker.
+
+The freshness model is declarative on the simulated clock: every
+replica is synchronized at t=0, a schedule derives its refresh
+completions, and :class:`FreshnessTracker` turns those into staleness
+at any instant — identically for the scheduler and the independent
+trace auditor.
+"""
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    Column,
+    FreshnessTracker,
+    RefreshDegrade,
+    RefreshPause,
+    RefreshSchedule,
+    TableSchema,
+    apply_refresh_spec,
+    parse_refresh_spec,
+    random_refresh_schedules,
+)
+from repro.datatypes import DataType
+from repro.errors import CatalogError
+
+
+def build_catalog():
+    catalog = Catalog()
+    catalog.add_database("db1", "home")
+    catalog.add_database("db2", "near")
+    catalog.add_database("db3", "far")
+    catalog.add_table(
+        "db1",
+        TableSchema(
+            "t",
+            (Column("k", DataType.INTEGER), Column("v", DataType.INTEGER)),
+            primary_key=("k",),
+        ),
+        row_count=10,
+    )
+    catalog.add_replica("db1", "t", "near", staleness_seconds=0.25)
+    catalog.add_replica("db1", "t", "far")
+    return catalog
+
+
+# -- schedule math -------------------------------------------------------------
+
+
+def test_periodic_refreshes_and_last_next():
+    schedule = RefreshSchedule(period=0.1)
+    assert list(schedule.refreshes(0.35)) == pytest.approx([0.1, 0.2, 0.3])
+    assert schedule.last_refresh(0.05) == 0.0  # synchronized at load
+    assert schedule.last_refresh(0.25) == pytest.approx(0.2)
+    assert schedule.next_refresh(0.25) == pytest.approx(0.3)
+    # A refresh instant is "at or before": staleness resets exactly there.
+    assert schedule.last_refresh(0.2) == pytest.approx(0.2)
+
+
+def test_phase_shifts_first_refresh_only():
+    schedule = RefreshSchedule(period=0.1, phase=0.03)
+    assert list(schedule.refreshes(0.25)) == pytest.approx([0.03, 0.13, 0.23])
+
+
+def test_bounded_pause_defers_refreshes_to_window_end():
+    schedule = RefreshSchedule(
+        period=0.1, pauses=(RefreshPause(at=0.15, duration=0.3),)
+    )
+    # 0.1 lands; 0.2, 0.3, 0.4 all fall in [0.15, 0.45) and defer to
+    # 0.45; subsequent nominal instants resume from the deferred one.
+    assert list(schedule.refreshes(0.6)) == pytest.approx([0.1, 0.45, 0.55])
+
+
+def test_unbounded_pause_cancels_all_later_refreshes():
+    schedule = RefreshSchedule(period=0.1, pauses=(RefreshPause(at=0.15),))
+    assert list(schedule.refreshes(10.0)) == pytest.approx([0.1])
+    assert schedule.next_refresh(0.1) is None
+    assert schedule.last_refresh(5.0) == pytest.approx(0.1)  # stale forever
+
+
+def test_degrade_window_multiplies_scheduled_gap():
+    schedule = RefreshSchedule(
+        period=0.1, degradations=(RefreshDegrade(factor=2.0, at=0.06, duration=0.1),)
+    )
+    # The gap scheduled *from* 0.1 (inside the window) doubles.
+    assert list(schedule.refreshes(0.45)) == pytest.approx([0.1, 0.3, 0.4])
+
+
+def test_schedule_validation():
+    with pytest.raises(CatalogError):
+        RefreshSchedule(period=0.0)
+    with pytest.raises(CatalogError):
+        RefreshSchedule(period=0.1, phase=-1.0)
+    with pytest.raises(CatalogError):
+        RefreshPause(at=-1.0)
+    with pytest.raises(CatalogError):
+        RefreshDegrade(factor=0.5)
+    # Pathological period x late horizon fails loudly, never spins.
+    with pytest.raises(CatalogError, match="too small"):
+        RefreshSchedule(period=1e-9).last_refresh(10.0)
+
+
+# -- registration and versioning ----------------------------------------------
+
+
+def test_set_refresh_bumps_catalog_version():
+    catalog = build_catalog()
+    before = catalog.version
+    catalog.set_refresh("db1", "t", "near", RefreshSchedule(period=0.1))
+    assert catalog.version == before + 1
+    assert catalog.refresh_schedule("db1", "t", "near").period == 0.1
+    # Replacing the schedule bumps again: a period change alters which
+    # replicas satisfy a bound, so cached derived state must re-derive.
+    catalog.set_refresh("db1", "t", "near", RefreshSchedule(period=0.2))
+    assert catalog.version == before + 2
+
+
+def test_set_refresh_unknown_replica_fails():
+    catalog = build_catalog()
+    with pytest.raises(CatalogError, match="no replica"):
+        catalog.set_refresh("db1", "t", "home", RefreshSchedule(period=0.1))
+
+
+def test_drop_replica_drops_its_schedule():
+    catalog = build_catalog()
+    catalog.set_refresh("db1", "t", "near", RefreshSchedule(period=0.1))
+    catalog.drop_replica("db1", "t", "near")
+    catalog.add_replica("db1", "t", "near")
+    assert catalog.refresh_schedule("db1", "t", "near") is None
+
+
+# -- the tracker ---------------------------------------------------------------
+
+
+def test_tracker_primary_scheduled_and_static_replicas():
+    catalog = build_catalog()
+    catalog.set_refresh("db1", "t", "far", RefreshSchedule(period=0.1))
+    tracker = FreshnessTracker(catalog)
+    # Primary: exact by definition, at any instant.
+    assert tracker.staleness("db1", "t", "home", 7.0) == 0.0
+    # Unscheduled replica: the declared bound is its constant lag (the
+    # static PR 8 model).
+    assert tracker.staleness("db1", "t", "near", 7.0) == pytest.approx(0.25)
+    # Scheduled replica: now - last refresh completion.
+    assert tracker.staleness("db1", "t", "far", 0.05) == pytest.approx(0.05)
+    assert tracker.staleness("db1", "t", "far", 0.25) == pytest.approx(0.05)
+    assert tracker.next_refresh("db1", "t", "far", 0.25) == pytest.approx(0.3)
+    assert tracker.next_refresh("db1", "t", "near", 0.25) is None
+
+
+def test_tracker_unknown_site_fails_closed():
+    tracker = FreshnessTracker(build_catalog())
+    with pytest.raises(CatalogError, match="no replica"):
+        tracker.staleness("db1", "t", "nowhere", 0.0)
+
+
+# -- the --refresh spec grammar ------------------------------------------------
+
+
+def test_parse_refresh_spec_grammar():
+    schedules = parse_refresh_spec(
+        "every:db1.t@near@0.05+0.01; pause:db1.t@near@0.1+0.2;"
+        "every:db1.t@far@0.1; degrade:db1.t@far@0+0.5x4"
+    )
+    near = schedules[("db1", "t", "near")]
+    assert near.period == 0.05 and near.phase == 0.01
+    assert near.pauses == (RefreshPause(at=0.1, duration=0.2),)
+    far = schedules[("db1", "t", "far")]
+    assert far.degradations == (RefreshDegrade(factor=4.0, at=0.0, duration=0.5),)
+
+
+def test_parse_refresh_spec_event_order_does_not_matter():
+    a = parse_refresh_spec("pause:db1.t@near@0.1; every:db1.t@near@0.05")
+    b = parse_refresh_spec("every:db1.t@near@0.05; pause:db1.t@near@0.1")
+    assert a == b
+
+
+@pytest.mark.parametrize(
+    "spec, match",
+    [
+        ("warp:db1.t@near@0.1", "unknown refresh event kind"),
+        ("every:db1.t@near", "bad refresh event"),
+        ("every:t@near@0.1", "qualified name"),
+        ("every:db1.t@near@zero", "bad refresh event"),
+        ("pause:db1.t@near@0.1", "no every: schedule"),
+        ("degrade:db1.t@near@0x2", "no every: schedule"),
+        ("every:db1.t@near@0.1; every:db1.t@near@0.2", "duplicate"),
+    ],
+)
+def test_parse_refresh_spec_rejects(spec, match):
+    with pytest.raises(CatalogError, match=match):
+        parse_refresh_spec(spec)
+
+
+def test_random_refresh_schedules_deterministic_and_cover_all_replicas():
+    catalog = build_catalog()
+    a = random_refresh_schedules(42, catalog.all_replicas())
+    b = random_refresh_schedules(42, catalog.all_replicas())
+    assert a == b
+    assert set(a) == {("db1", "t", "near"), ("db1", "t", "far")}
+    assert a != random_refresh_schedules(43, catalog.all_replicas())
+    via_spec = parse_refresh_spec("random:42", replicas=catalog.all_replicas())
+    assert via_spec == a
+
+
+def test_apply_refresh_spec_registers_and_bumps():
+    catalog = build_catalog()
+    before = catalog.version
+    count = apply_refresh_spec(catalog, "every:db1.t@near@0.05")
+    assert count == 1
+    assert catalog.version == before + 1
+    assert catalog.refresh_schedule("db1", "t", "near").period == 0.05
+    with pytest.raises(CatalogError, match="no replica"):
+        apply_refresh_spec(catalog, "every:db1.t@home@0.05")

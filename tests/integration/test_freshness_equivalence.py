@@ -1,0 +1,153 @@
+"""Bounded-staleness equivalence under fuzzed refresh x fault schedules.
+
+The freshness model is metadata on the simulated clock: every replica
+holds the same snapshot content, only its *staleness* varies.  So the
+correctness contract is sharp and fuzzable:
+
+* **Snapshot equivalence** — whenever a run completes, it serves exactly
+  the base table's rows; staleness may change *where* a scan reads and
+  *when* it commits, never *what* it returns.
+* **Bound enforcement** — an enforcing policy (anything but plan-only)
+  never commits a read whose derived staleness exceeds the bound; runs
+  that cannot satisfy the bound degrade to a typed partial failure.
+* **Executor equivalence** — the row and batch executors are
+  indistinguishable: same rows, same freshness counters, same simulated
+  makespan, same (typed) failure.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.catalog import (
+    FreshnessTracker,
+    RefreshDegrade,
+    RefreshPause,
+    RefreshSchedule,
+)
+from repro.execution import (
+    FRESHNESS_MODES,
+    FragmentScheduler,
+    FreshnessPolicy,
+    RetryPolicy,
+    parse_fault_spec,
+)
+
+from ..conftest import rows_as_multiset
+from ..execution.test_freshness_runtime import ROWS, freshness_world, scan_plan
+
+FUZZ_EXAMPLES = 30
+
+#: Faults composable with freshness: a flaky window and a slow link on
+#: the result path (retryable), and a crash of the L3 replica's site
+#: (forces the failover planner through the freshness filter).
+FAULT_SPECS = (None, "flaky:L2->L4@0+0.1", "slow:L2->L4@0x5", "crash:L3@0.01")
+
+
+@st.composite
+def refresh_schedules(draw):
+    period = draw(st.floats(0.05, 1.0))
+    phase = draw(st.floats(0.0, 0.5))
+    pauses = ()
+    if draw(st.booleans()):
+        duration = draw(st.one_of(st.none(), st.floats(0.05, 1.0)))
+        pauses = (RefreshPause(at=draw(st.floats(0.0, 1.0)), duration=duration),)
+    degradations = ()
+    if draw(st.booleans()):
+        degradations = (
+            RefreshDegrade(
+                factor=draw(st.floats(1.5, 4.0)),
+                at=draw(st.floats(0.0, 1.0)),
+                duration=draw(st.floats(0.1, 1.0)),
+            ),
+        )
+    return RefreshSchedule(
+        period=period, phase=phase, pauses=pauses, degradations=degradations
+    )
+
+
+def run_once(catalog, database, network, plan, mode, bound, executor, faults, start_at):
+    policy = FreshnessPolicy(
+        FreshnessTracker(catalog), mode=mode, max_staleness=bound
+    )
+    scheduler = FragmentScheduler(
+        database,
+        network,
+        executor=executor,
+        faults=faults,
+        retry_policy=RetryPolicy(max_retries=6),
+        freshness=policy,
+    )
+    return scheduler.run(plan, start_at=start_at)
+
+
+@settings(
+    max_examples=FUZZ_EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_bounded_staleness_equivalence(data):
+    catalog, database, network = freshness_world()
+    for site in ("L2", "L3"):
+        if data.draw(st.booleans(), label=f"schedule@{site}"):
+            catalog.set_refresh(
+                "db1",
+                "emp",
+                site,
+                data.draw(refresh_schedules(), label=f"refresh@{site}"),
+            )
+    mode = data.draw(st.sampled_from(FRESHNESS_MODES), label="mode")
+    bound = data.draw(
+        st.one_of(st.none(), st.floats(0.0, 0.6)), label="bound"
+    )
+    start_at = data.draw(st.floats(0.0, 1.0), label="start_at")
+    spec = data.draw(st.sampled_from(FAULT_SPECS), label="fault")
+    faults = (
+        parse_fault_spec(spec, locations=catalog.locations) if spec else None
+    )
+    plan = scan_plan(data.draw(st.sampled_from(("L2", "L3")), label="scan"))
+    enforcing = mode != "plan-only"
+
+    outcomes = {}
+    for executor in ("row", "batch"):
+        (columns, rows), metrics = run_once(
+            catalog, database, network, plan,
+            mode, bound, executor, faults, start_at,
+        )
+        outcomes[executor] = (columns, rows, metrics)
+        if metrics.partial_failure is not None:
+            # Typed degradation, never wrong rows.
+            assert rows == []
+            assert "Error" in metrics.partial_failure.error_type
+            continue
+        # Snapshot equivalence: staleness moves reads around, never
+        # the served rows.
+        assert rows_as_multiset(rows) == rows_as_multiset(ROWS)
+        if enforcing and bound is not None:
+            for read in metrics.scan_reads:
+                assert read.staleness_seconds <= bound + 1e-9
+
+    (row_cols, row_rows, row_m) = outcomes["row"]
+    (batch_cols, batch_rows, batch_m) = outcomes["batch"]
+    assert row_cols == batch_cols
+    assert rows_as_multiset(row_rows) == rows_as_multiset(batch_rows)
+    assert (row_m.partial_failure is None) == (batch_m.partial_failure is None)
+    if row_m.partial_failure is not None:
+        assert (
+            row_m.partial_failure.error_type
+            == batch_m.partial_failure.error_type
+        )
+    assert row_m.stale_reads == batch_m.stale_reads
+    assert row_m.refresh_waits == batch_m.refresh_waits
+    assert row_m.refresh_wait_seconds == pytest.approx(
+        batch_m.refresh_wait_seconds
+    )
+    assert row_m.freshness_demotions == batch_m.freshness_demotions
+    assert row_m.makespan_seconds == pytest.approx(batch_m.makespan_seconds)
+    assert [
+        (r.database, r.table, r.site, r.at_seconds, r.staleness_seconds)
+        for r in row_m.scan_reads
+    ] == [
+        (r.database, r.table, r.site, r.at_seconds, r.staleness_seconds)
+        for r in batch_m.scan_reads
+    ]

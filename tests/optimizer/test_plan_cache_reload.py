@@ -153,7 +153,7 @@ def run_interleaving(operations, cache_class=PlanCache):
             sql = QUERY_POOL[query_index]
             location = LOCATIONS[location_index]
             proxy = (sql, location)
-            keys_before = set(cache._entries)
+            stores_before = cache.stats.stores
             try:
                 result = optimizer.optimize(sql, result_location=location)
             except NonCompliantQueryError:
@@ -181,9 +181,11 @@ def run_interleaving(operations, cache_class=PlanCache):
             if expected is not None and expected[1] != result.cache_hit:
                 precision_failures.append((proxy, expected[1], result.cache_hit))
             if not result.cache_hit:
-                new_keys = set(cache._entries) - keys_before
-                if len(new_keys) == 1:
-                    entry = cache._entries[new_keys.pop()]
+                # A store appends (lookup drops a stale entry *before*
+                # re-storing under the same key, so key-set diffing
+                # would miss invalidate-then-restore round-trips).
+                if cache.stats.stores > stores_before:
+                    entry = cache._entries[next(reversed(cache._entries))]
                     model[proxy] = (set(entry.dependencies), True)
             elif proxy in model:
                 model[proxy] = (model[proxy][0], True)

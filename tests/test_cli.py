@@ -243,3 +243,60 @@ def test_run_replica_failover_summary_line(capsys):
 
 def test_bad_replica_spec_exit_code(capsys):
     assert main(["explain", "Q3", "--set", "T", "--replicas", "customer@X"]) == 1
+
+
+STALE_REPLICAS = "db1.customer@NorthAmerica+0.5;db1.orders@NorthAmerica+0.5"
+
+
+def test_run_with_freshness_and_audit_exit_code_matrix(tmp_path, capsys):
+    """One stale replicated run, three audits: same specs re-derive ->
+    exit 0; staleness evidence without --replicas fails closed -> exit
+    1; a tighter audit-side bound flags the served reads -> exit 4."""
+    trace = tmp_path / "freshness.jsonl"
+    assert main(
+        [
+            "run", "Q3", "--scale", "0.001", "--set", "T",
+            "--replicas", STALE_REPLICAS, "--result-location", "Europe",
+            "--staleness-policy", "read-stale", "--trace", str(trace),
+        ]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "freshness (read-stale" in err
+    assert "2 replica reads" in err
+    assert "2 stale" in err
+    # The same replica spec: every claim re-derives exactly.
+    assert (
+        main(["audit", str(trace), "--set", "T", "--replicas", STALE_REPLICAS])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "COMPLIANT" in out
+    assert "2 replica reads" in out
+    # Fail-closed: freshness evidence without the replica spec is an
+    # audit *error* (exit 1), never a clean report.
+    assert main(["audit", str(trace), "--set", "T"]) == 1
+    assert "--replicas" in capsys.readouterr().err
+    # A tighter audit-side bound flags the served stale reads.
+    assert (
+        main(
+            [
+                "audit", str(trace), "--set", "T",
+                "--replicas", STALE_REPLICAS, "--max-staleness", "0.2",
+            ]
+        )
+        == 4
+    )
+    assert "stale-read" in capsys.readouterr().out
+
+
+def test_bad_refresh_spec_exit_code(capsys):
+    assert (
+        main(
+            [
+                "run", "Q1", "--set", "T", "--replicas", REPLICA_SPEC,
+                "--refresh", "warp:db1.customer@NorthAmerica@0.1",
+            ]
+        )
+        == 1
+    )
+    assert "unknown refresh event kind" in capsys.readouterr().err
