@@ -13,6 +13,8 @@ curated policy sets, and both optimizers:
                                            [--explain-fragments]
                                            [--faults SPEC] [--retries N]
                                            [--fragment-timeout S]
+                                           [--ship-chunk-rows N]
+                                           [--ship-compression {none,auto}]
     python -m repro serve    workload.json [--set CR] [--scale 0.005]
                                            [--concurrency N] [--queue-depth N]
                                            [--deadline S] [--site-inflight N]
@@ -75,10 +77,13 @@ from contextlib import nullcontext
 from .catalog import FreshnessTracker, apply_refresh_spec, parse_replica_spec
 from .errors import NonCompliantQueryError, ReproError
 from .execution import (
+    COMPRESSION_MODES,
+    DEFAULT_CHUNK_ROWS,
     FRESHNESS_MODES,
     ExecutionEngine,
     FreshnessPolicy,
     RetryPolicy,
+    ShipConfig,
     explain_fragments,
     fragment_plan,
     parse_fault_spec,
@@ -138,6 +143,13 @@ def _build_freshness(catalog, args: argparse.Namespace) -> FreshnessPolicy | Non
     )
 
 
+def _build_ship(args: argparse.Namespace) -> ShipConfig:
+    """Build the SHIP wire format from ``--ship-chunk-rows`` /
+    ``--ship-compression`` (0 chunk rows = monolithic transfers)."""
+    chunk_rows = args.ship_chunk_rows if args.ship_chunk_rows > 0 else None
+    return ShipConfig(chunk_rows=chunk_rows, compression=args.ship_compression)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -194,6 +206,25 @@ def _build_parser() -> argparse.ArgumentParser:
             "'plan-only' records staleness without enforcing the bound",
         )
 
+    def add_ship(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--ship-chunk-rows",
+            type=int,
+            default=DEFAULT_CHUNK_ROWS,
+            metavar="N",
+            help="stream every SHIP as fixed-size chunks of N rows so "
+            "consumer fragments start on first-chunk arrival "
+            f"(default {DEFAULT_CHUNK_ROWS}; 0 = monolithic transfers)",
+        )
+        p.add_argument(
+            "--ship-compression",
+            default="auto",
+            choices=list(COMPRESSION_MODES),
+            help="per-column wire compression: 'auto' picks the cheapest "
+            "of plain/dict/RLE per column (default), 'none' ships "
+            "plain (billed bytes = logical bytes)",
+        )
+
     explain = sub.add_parser("explain", help="optimize and print the plan")
     add_common(explain)
     add_replicas(explain)
@@ -211,6 +242,7 @@ def _build_parser() -> argparse.ArgumentParser:
     add_common(run)
     add_replicas(run)
     add_freshness(run)
+    add_ship(run)
     run.add_argument(
         "--scale", type=float, default=0.005, help="TPC-H data scale (default 0.005)"
     )
@@ -302,6 +334,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_replicas(serve)
     add_freshness(serve)
+    add_ship(serve)
     serve.add_argument(
         "--scale", type=float, default=0.005, help="TPC-H data scale (default 0.005)"
     )
@@ -537,6 +570,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             retry_policy=retry_policy,
             executor=args.executor,
             freshness=freshness,
+            ship=_build_ship(args),
         )
         # Pass the whole OptimizationResult: a store-time-validated plan
         # skips the engine's redundant guard re-check.
@@ -556,6 +590,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if parallel:
         summary += f"; {output.makespan_seconds:.3f} s simulated makespan"
+    wire_bytes = output.metrics.total_wire_bytes_shipped
+    if wire_bytes != output.metrics.total_bytes_shipped:
+        summary += (
+            f"; {wire_bytes} wire bytes in "
+            f"{output.metrics.total_chunks_shipped} chunks"
+        )
     print(summary, file=sys.stderr)
     if faults is not None:
         print(f"injected faults: {faults}", file=sys.stderr)
@@ -662,6 +702,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor=args.executor,
         max_workers=args.workers,
         freshness=freshness,
+        ship=_build_ship(args),
     )
     recorder = TraceRecorder() if args.trace is not None else None
     with tracing(recorder) if recorder is not None else nullcontext():

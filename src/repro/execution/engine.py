@@ -45,6 +45,7 @@ from .scheduler import (
     validate_executor_name,
     validate_worker_count,
 )
+from .wire import ShipConfig
 
 
 @dataclass
@@ -100,6 +101,7 @@ class ExecutionEngine:
         retry_policy: RetryPolicy | None = None,
         executor: str = "row",
         freshness: "FreshnessPolicy | None" = None,
+        ship: "ShipConfig | None" = None,
     ) -> None:
         validate_worker_count(max_workers)  # reject 0/negative up front
         self.database = database
@@ -111,6 +113,11 @@ class ExecutionEngine:
         self.retry_policy = retry_policy
         self.executor = validate_executor_name(executor)
         self.freshness = freshness
+        #: Wire format every SHIP edge uses — sequential executors and
+        #: the fragment scheduler alike, so the two modes stay
+        #: byte-equivalent on logical sizes.  Default: legacy monolithic
+        #: uncompressed transfers.
+        self.ship = ship or ShipConfig()
         if faults and not parallel:
             raise ExecutionError(
                 "fault injection requires the fragment scheduler; construct "
@@ -183,12 +190,13 @@ class ExecutionEngine:
                     compliance_guard=self.policy_guard,
                     executor=self.executor,
                     freshness=self.freshness,
+                    ship=self.ship,
                 )
                 (columns, rows), metrics = scheduler.run(plan)
             else:
                 metrics = ExecutionMetrics()
                 executor = EXECUTOR_BACKENDS[self.executor](
-                    self.database, self.network, metrics
+                    self.database, self.network, metrics, ship=self.ship
                 )
                 columns, rows = executor.run(plan)
         except BaseException:

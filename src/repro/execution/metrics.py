@@ -50,6 +50,12 @@ class ShipRecord:
     seconds: float  # simulated transfer time under the network model
     attempts: int = 1
     retry_wait_seconds: float = 0.0
+    #: Compressed size actually sent (``None`` — legacy plain wire —
+    #: means wire == logical).  :attr:`bytes` always stays the logical
+    #: uncompressed size so byte-equivalence across executors holds.
+    wire_bytes: int | None = None
+    #: Chunks the transfer was split into (1 = monolithic).
+    chunks: int = 1
 
 
 @dataclass
@@ -216,6 +222,17 @@ class ExecutionMetrics:
         return sum(s.rows for s in self.ships)
 
     @property
+    def total_wire_bytes_shipped(self) -> int:
+        """Compressed bytes that actually crossed the WAN (equals
+        :attr:`total_bytes_shipped` when no transfer was compressed)."""
+        return sum(s.bytes if s.wire_bytes is None else s.wire_bytes for s in self.ships)
+
+    @property
+    def total_chunks_shipped(self) -> int:
+        """Wire chunks across all transfers (ships when monolithic)."""
+        return sum(s.chunks for s in self.ships)
+
+    @property
     def shipping_seconds(self) -> float:
         """Total simulated cross-site transfer time — the paper's
         execution-cost metric (an upper bound on response time for
@@ -250,10 +267,29 @@ class ExecutionMetrics:
         return sum(op.seconds for op in self.operators)
 
     def record_ship(
-        self, network: NetworkModel, source: str, target: str, rows: int, nbytes: int
+        self,
+        network: NetworkModel,
+        source: str,
+        target: str,
+        rows: int,
+        nbytes: int,
+        wire_bytes: int | None = None,
+        chunks: int = 1,
     ) -> None:
-        seconds = network.transfer_time(source, target, nbytes)
-        self.ships.append(ShipRecord(source, target, rows, nbytes, seconds))
+        seconds = network.transfer_time(
+            source, target, nbytes if wire_bytes is None else wire_bytes
+        )
+        self.ships.append(
+            ShipRecord(
+                source,
+                target,
+                rows,
+                nbytes,
+                seconds,
+                wire_bytes=wire_bytes,
+                chunks=chunks,
+            )
+        )
 
     def record_operator(
         self, operator: str, location: str, rows_out: int, seconds: float

@@ -29,6 +29,7 @@ from ..plan import (
 )
 from ..trace import current_recorder
 from .metrics import ExecutionMetrics
+from .wire import ShipConfig, encode_ship
 
 Row = tuple
 Result = tuple[list[str], list[Row]]  # (column names, rows) — unpacked shape
@@ -105,10 +106,14 @@ class OperatorExecutor:
         database: GeoDatabase,
         network: NetworkModel,
         metrics: ExecutionMetrics,
+        ship: ShipConfig | None = None,
     ) -> None:
         self.database = database
         self.network = network
         self.metrics = metrics
+        #: Wire format for SHIP edges (``None``/default = legacy
+        #: monolithic uncompressed transfers).
+        self.ship = ship or ShipConfig()
         self._child_seconds: list[float] = []
 
     def run(self, node: PhysicalPlan) -> RowBatch:
@@ -192,19 +197,42 @@ class OperatorExecutor:
     def _ship(self, node: Ship) -> RowBatch:
         assert node.child is not None
         batch = self.run(node.child)
+        nbytes = batch.nbytes
+        wire_bytes: int | None = None
+        chunks: int | None = None
+        if self.ship.active:
+            # Encode for the wire and hand the *decoded* rows onward, so
+            # the codec sits on the data path: a round-trip bug diverges
+            # rows, not just byte counts.
+            wire = encode_ship(
+                batch.columns, batch.rows, logical_bytes=nbytes, config=self.ship
+            )
+            wire_bytes = wire.wire_bytes
+            chunks = len(wire.chunks)
+            batch = RowBatch(batch.columns, wire.decode_rows(), nbytes=nbytes)
         self.metrics.record_ship(
-            self.network, node.source, node.target, len(batch.rows), batch.nbytes
+            self.network,
+            node.source,
+            node.target,
+            len(batch.rows),
+            nbytes,
+            wire_bytes=wire_bytes,
+            chunks=1 if chunks is None else chunks,
         )
         recorder = current_recorder()
         if recorder is not None:
             recorder.record_local_ship(
                 node,
                 rows=len(batch.rows),
-                nbytes=batch.nbytes,
+                nbytes=nbytes,
                 columns=batch.columns,
                 seconds=self.network.transfer_time(
-                    node.source, node.target, batch.nbytes
+                    node.source,
+                    node.target,
+                    nbytes if wire_bytes is None else wire_bytes,
                 ),
+                wire_bytes=wire_bytes,
+                chunks=chunks,
             )
         return batch
 

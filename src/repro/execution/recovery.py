@@ -83,6 +83,77 @@ class RetryPolicy:
         return base * (1.0 + self.jitter * stable_fraction("retry", failed_attempts, *key))
 
 
+# -- chunk-granular delivery state ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChunkAck:
+    """One delivered chunk's receipt at its target site."""
+
+    at_seconds: float  # simulated arrival instant
+    seconds: float  # billed transfer time of the successful send
+    wire_bytes: int  # compressed bytes that crossed the link
+
+
+class ChunkLedger:
+    """Delivered-chunk acknowledgements, keyed ``(producer, target site)``.
+
+    Streaming retry and failover consult the ledger so a chunk that
+    already reached the consumer's site is *never* re-sent or re-billed:
+    a transient fault resumes from the first unacknowledged chunk, and a
+    producer-side failover re-ships only the pending suffix from the new
+    source (the delivered prefix is already at the target).  A consumer
+    failover changes the target site — a fresh key — so the full
+    transfer restarts, exactly as physical reality would demand.
+    """
+
+    def __init__(self) -> None:
+        self._acked: dict[tuple[int, str], dict[int, ChunkAck]] = {}
+        self._attempts: dict[tuple[int, str], int] = {}
+        self._waits: dict[tuple[int, str], float] = {}
+
+    def acked(self, producer: int, target: str) -> dict[int, ChunkAck]:
+        """Acks recorded so far for ``producer``'s transfer to ``target``."""
+        return self._acked.get((producer, target), {})
+
+    def ack(
+        self,
+        producer: int,
+        target: str,
+        chunk: int,
+        at_seconds: float,
+        seconds: float,
+        wire_bytes: int,
+    ) -> None:
+        self._acked.setdefault((producer, target), {})[chunk] = ChunkAck(
+            at_seconds=at_seconds, seconds=seconds, wire_bytes=wire_bytes
+        )
+
+    def pending(self, producer: int, target: str, total_chunks: int) -> list[int]:
+        """Chunk indexes still undelivered, in send order.  Sends are
+        serialized per link, so this is always a suffix ``k..total-1``
+        starting at the first unacknowledged chunk."""
+        done = self._acked.get((producer, target), {})
+        return [k for k in range(total_chunks) if k not in done]
+
+    def note_attempt(self, producer: int, target: str) -> None:
+        """Count one chunk-send attempt (any outcome) toward the
+        transfer's lifetime total."""
+        key = (producer, target)
+        self._attempts[key] = self._attempts.get(key, 0) + 1
+
+    def attempts(self, producer: int, target: str) -> int:
+        return self._attempts.get((producer, target), 0)
+
+    def note_wait(self, producer: int, target: str, seconds: float) -> None:
+        """Accumulate simulated backoff waited before chunk retries."""
+        key = (producer, target)
+        self._waits[key] = self._waits.get(key, 0.0) + seconds
+
+    def wait_seconds(self, producer: int, target: str) -> float:
+        return self._waits.get((producer, target), 0.0)
+
+
 # -- fragment relocation -------------------------------------------------------
 
 

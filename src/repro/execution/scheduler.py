@@ -72,6 +72,7 @@ from ..errors import (
 )
 from ..geo import FaultAwareNetwork, GeoDatabase, LinkGovernor, NetworkModel
 from ..trace import (
+    ChunkEvent,
     RecoveryEvent,
     ScanReadEvent,
     ShipEvent,
@@ -80,7 +81,7 @@ from ..trace import (
     encode_payload,
 )
 from ..validation import validate_positive_int, validate_timeout
-from ..plan import PhysicalPlan, Ship
+from ..plan import Filter, PhysicalPlan, Project, Ship, TableScan, UnionAll
 from .faults import FaultPlan
 from .fragments import Fragment, FragmentDAG, fragment_plan
 from .freshness import MAX_REFRESH_WAITS, FreshnessPolicy
@@ -93,8 +94,9 @@ from .metrics import (
     ShipRecord,
 )
 from .operators import OperatorExecutor, RowBatch
-from .recovery import FailoverPlanner, RetryPolicy
+from .recovery import ChunkLedger, FailoverPlanner, RetryPolicy
 from .vectorized import BatchOperatorExecutor, ColumnBatch
+from .wire import ShipConfig, ShipTransfer, WireChunk, encode_ship
 
 
 def validate_worker_count(max_workers: int | None) -> int:
@@ -201,6 +203,7 @@ class FragmentScheduler:
         executor: str = "row",
         breakers: LinkGovernor | None = None,
         freshness: FreshnessPolicy | None = None,
+        ship: ShipConfig | None = None,
     ) -> None:
         self.database = database
         self.network = network
@@ -211,6 +214,9 @@ class FragmentScheduler:
         self.executor = validate_executor_name(executor)
         self.breakers = breakers
         self.freshness = freshness
+        #: Wire format for cut SHIP edges; the default is the legacy
+        #: monolithic, uncompressed transfer.
+        self.ship = ship or ShipConfig()
 
     def run(
         self,
@@ -279,7 +285,26 @@ class _ChaosRun:
             freshness=scheduler.freshness,
         )
         self.freshness = scheduler.freshness
+        self.ship = scheduler.ship
         self.results: dict[int, tuple[RowBatch, float]] = {}
+        #: Wire-decoded producer outputs (only when a wire config is
+        #: active): consumers read *these* rows, so the codec is
+        #: load-bearing — an encode/decode bug shows up as row
+        #: divergence in the equivalence suites, not just as a wrong
+        #: byte count.
+        self.results_decoded: dict[int, RowBatch] = {}
+        #: Encoded wire form per producer index, built once per run.  A
+        #: failover recompute yields row-identical output, so the cache
+        #: survives re-placements.
+        self._wire_cache: dict[int, ShipTransfer] = {}
+        #: Delivered-chunk acknowledgements: transient retry and
+        #: producer-side failover resume from the first unacknowledged
+        #: chunk instead of re-shipping (and re-billing) the prefix.
+        self.ledger = ChunkLedger()
+        #: Simulated instant each fragment's *first* output chunk can
+        #: leave its site (== ``ready`` for blocking fragments and
+        #: whenever streaming is off).
+        self.out_start: dict[int, float] = {}
         self.fragment_metrics: dict[int, ExecutionMetrics] = {
             f.index: ExecutionMetrics() for f in self.dag.fragments
         }
@@ -331,7 +356,9 @@ class _ChaosRun:
 
     def _compute(self, fragment: Fragment) -> tuple[RowBatch, float]:
         ship_results = {
-            id(entry.ship): self.results[entry.producer][0]
+            id(entry.ship): self.results_decoded.get(
+                entry.producer, self.results[entry.producer][0]
+            )
             for entry in fragment.inputs
         }
         executor = _FRAGMENT_EXECUTORS[self.scheduler.executor](
@@ -417,7 +444,10 @@ class _ChaosRun:
             site = fragment.location
             base = max(
                 [not_before]
-                + [self.ready[entry.producer] for entry in fragment.inputs]
+                + [
+                    self.out_start.get(entry.producer, self.ready[entry.producer])
+                    for entry in fragment.inputs
+                ]
             )
             self._check_deadline(base, index)
             if self.scheduler.faults.site_down(site, base):
@@ -429,13 +459,15 @@ class _ChaosRun:
                 continue
             try:
                 start = base
+                first_done = base
                 records: list[tuple[int, ShipRecord, float]] = []
                 for entry in fragment.inputs:
-                    delivered, record = self._transfer(
+                    first, delivered, record = self._transfer(
                         entry.producer, site, not_before, consumer_index=index
                     )
                     records.append((entry.producer, record, delivered))
                     start = max(start, delivered)
+                    first_done = max(first_done, first)
             except SiteUnavailableError as error:
                 detected = getattr(error, "at", base)
                 if error.site == site:
@@ -465,6 +497,7 @@ class _ChaosRun:
                 error.at = start
                 not_before = self._failover(index, error, start)
                 continue
+            gated = False
             if self.freshness is not None:
                 action, when = self._freshness_gate(index, start)
                 if action == "retry":
@@ -473,11 +506,26 @@ class _ChaosRun:
                     # site needs its own deliveries).
                     not_before = when
                     continue
+                gated = when != start
                 start = when
             for producer, record, delivered in records:
                 self.ship_records[producer] = record
                 self.delivered[producer] = delivered
             self.ready[index] = start
+            # First-chunk admission: a pipelined fragment (its body only
+            # filters/projects/unions the streamed input) can start
+            # emitting output chunks once its first input chunk landed;
+            # blocking fragments — and any fragment a freshness gate
+            # parked — emit nothing before they are fully ready.
+            if (
+                self.ship.streaming
+                and fragment.inputs
+                and not gated
+                and self._streamable(fragment)
+            ):
+                self.out_start[index] = min(first_done, start)
+            else:
+                self.out_start[index] = start
             if index == self.dag.root_index:
                 self.delivered[index] = start
             return
@@ -633,24 +681,82 @@ class _ChaosRun:
                     stable=False,
                 )
 
+    #: Operators that can emit output rows as input rows arrive — a
+    #: fragment whose body holds only these (plus its cut SHIP leaves
+    #: and local scans) is admitted on *first-chunk* arrival.  Joins,
+    #: aggregates, and sorts are blocking: they see the full input
+    #: before their first output row exists.
+    _STREAMABLE_OPS = (Filter, Project, UnionAll, Ship, TableScan)
+
+    def _streamable(self, fragment: Fragment) -> bool:
+        cut = {id(entry.ship) for entry in fragment.inputs}
+        stack: list[PhysicalPlan] = [fragment.root]
+        while stack:
+            node = stack.pop()
+            if not isinstance(node, self._STREAMABLE_OPS):
+                return False
+            if id(node) in cut:
+                continue
+            stack.extend(node.children())
+        return True
+
+    def _wire_transfer(self, producer_index: int) -> ShipTransfer:
+        """The producer's output in wire form (encoded once per run; a
+        failover recompute is row-identical, so the encoding is too).
+        Consumers are switched to the *decoded* rows at the same time,
+        making the codec part of the actual data path."""
+        wire = self._wire_cache.get(producer_index)
+        if wire is None:
+            batch, _compute = self.results[producer_index]
+            wire = encode_ship(
+                batch.columns, batch.rows, logical_bytes=batch.nbytes, config=self.ship
+            )
+            self._wire_cache[producer_index] = wire
+            self.results_decoded[producer_index] = RowBatch(
+                list(batch.columns), wire.decode_rows(), nbytes=batch.nbytes
+            )
+        return wire
+
+    def _chunk_avail(self, producer_index: int, chunk: int, total: int) -> float:
+        """Simulated instant chunk ``chunk`` of the producer's output
+        exists at its site.  A pipelined producer emits chunks evenly
+        between its first-output instant and its fully-ready instant;
+        the last chunk (and every chunk of a single-chunk transfer) can
+        never precede ``ready`` — the full result must exist before the
+        final chunk is sealed."""
+        ready = self.ready[producer_index]
+        if total <= 1 or chunk >= total - 1:
+            return ready
+        out = self.out_start.get(producer_index, ready)
+        return out + (ready - out) * (chunk / (total - 1))
+
     def _transfer(
         self,
         producer_index: int,
         target_site: str,
         not_before: float,
         consumer_index: int,
-    ) -> tuple[float, ShipRecord]:
+    ) -> tuple[float, float, ShipRecord]:
         """Simulate the delivery of ``producer_index``'s output to
         ``target_site``: repeated attempts against the fault-aware
         network with exponential backoff, bounded by the retry budget
-        and the per-fragment timeout.  Returns the simulated delivery
-        instant and the record of the successful attempt."""
+        and the per-fragment timeout.  Returns the first-chunk arrival
+        instant, the full-delivery instant, and the record of the
+        successful transfer (first == full for monolithic transfers)."""
         producer = self.dag.fragments[producer_index]
         source = producer.location
         batch, _compute = self.results[producer_index]
         # The measurement is cached on the batch itself, so retry and
         # failover re-deliveries of the same output are O(1) here.
         nbytes = batch.nbytes
+        wire = self._wire_transfer(producer_index) if self.ship.active else None
+        if wire is not None and self.ship.streaming and source != target_site:
+            return self._chunked_transfer(
+                producer_index, target_site, not_before, consumer_index, wire
+            )
+        billed = nbytes if wire is None else wire.wire_bytes
+        wire_bytes = None if wire is None else wire.wire_bytes
+        wire_chunks = None if wire is None else len(wire.chunks)
         begin = max(self.ready[producer_index], not_before)
         timeout = self.policy.fragment_timeout
         now = begin
@@ -668,12 +774,14 @@ class _ChaosRun:
                     outcome,
                     at,
                     seconds,
+                    wire_bytes=wire_bytes,
+                    chunks=wire_chunks,
                 )
 
         while True:
             attempts += 1
             try:
-                seconds = self.wan.attempt_transfer(source, target_site, nbytes, now)
+                seconds = self.wan.attempt_transfer(source, target_site, billed, now)
             except TransferError as error:
                 error.at = now
                 if isinstance(error, CircuitOpenError):
@@ -726,8 +834,175 @@ class _ChaosRun:
                 seconds=seconds,
                 attempts=attempts,
                 retry_wait_seconds=now - begin,
+                wire_bytes=wire_bytes,
+                chunks=1 if wire_chunks is None else wire_chunks,
             )
-            return delivered, record
+            return delivered, delivered, record
+
+    def _chunked_transfer(
+        self,
+        producer_index: int,
+        target_site: str,
+        not_before: float,
+        consumer_index: int,
+        wire: ShipTransfer,
+    ) -> tuple[float, float, ShipRecord]:
+        """Stream one logical transfer chunk by chunk on the simulated
+        clock.  Sends are serialized on the link in chunk order; chunk
+        ``k`` leaves no earlier than the instant the producer has it
+        (:meth:`_chunk_avail`) and no earlier than the link is free.
+        The link's α is paid once per connection — re-paid after any
+        fault broke it and on every resumed transfer.  Every delivered
+        chunk is acknowledged in the ledger, so retries and failover
+        re-deliveries send only the pending suffix and no chunk is ever
+        billed twice.  On completion exactly one payload-carrying ship
+        event rolls up the transfer."""
+        producer = self.dag.fragments[producer_index]
+        source = producer.location
+        batch, _compute = self.results[producer_index]
+        total = len(wire.chunks)
+        begin = max(
+            self.out_start.get(producer_index, self.ready[producer_index]), not_before
+        )
+        timeout = self.policy.fragment_timeout
+        now = begin
+        connected = False
+
+        def trace_chunk(
+            chunk: WireChunk,
+            attempt: int,
+            outcome: str,
+            at: float,
+            seconds: float | None = None,
+        ) -> None:
+            if self.recorder is not None:
+                self.recorder.emit(
+                    ChunkEvent(
+                        at=at,
+                        source=source,
+                        target=target_site,
+                        chunk=chunk.index,
+                        of=total,
+                        rows=chunk.rows,
+                        bytes=chunk.nbytes,
+                        attempt=attempt,
+                        outcome=outcome,
+                        seconds=seconds,
+                        producer=producer_index,
+                        consumer=consumer_index,
+                    ),
+                    stable=False,
+                )
+
+        for k in self.ledger.pending(producer_index, target_site, total):
+            chunk = wire.chunks[k]
+            now = max(now, self._chunk_avail(producer_index, k, total))
+            chunk_attempts = 0
+            while True:
+                chunk_attempts += 1
+                self.ledger.note_attempt(producer_index, target_site)
+                try:
+                    seconds = self.wan.attempt_chunk_transfer(
+                        source,
+                        target_site,
+                        chunk.nbytes,
+                        now,
+                        include_alpha=not connected,
+                    )
+                except TransferError as error:
+                    connected = False
+                    error.at = now
+                    if isinstance(error, CircuitOpenError):
+                        self.breaker_fast_fails += 1
+                        trace_chunk(chunk, chunk_attempts, "circuit_open", now)
+                        raise
+                    if (
+                        not error.transient
+                        or chunk_attempts >= self.policy.max_attempts
+                    ):
+                        trace_chunk(
+                            chunk,
+                            chunk_attempts,
+                            "link_down" if not error.transient else "retry_exhausted",
+                            now,
+                        )
+                        raise
+                    pause = self.policy.backoff(
+                        chunk_attempts, producer_index, source, target_site, k
+                    )
+                    if timeout is not None and (now + pause) - begin > timeout:
+                        trace_chunk(chunk, chunk_attempts, "timeout", now)
+                        timeout_error = FragmentTimeoutError(
+                            f"inputs of fragment f{consumer_index} exceeded "
+                            f"the {timeout:g}s fragment timeout while "
+                            f"retrying chunk {k} of {source} -> {target_site}",
+                            fragment_index=consumer_index,
+                        )
+                        timeout_error.at = now
+                        raise timeout_error from error
+                    trace_chunk(chunk, chunk_attempts, "transient", now)
+                    self.ledger.note_wait(producer_index, target_site, pause)
+                    now += pause
+                    continue
+                except SiteUnavailableError as error:
+                    connected = False
+                    error.at = now
+                    trace_chunk(chunk, chunk_attempts, "site_down", now)
+                    raise
+                arrived = now + seconds
+                if timeout is not None and arrived - begin > timeout:
+                    trace_chunk(chunk, chunk_attempts, "timeout", now, seconds)
+                    timeout_error = FragmentTimeoutError(
+                        f"chunk {k} of {source} -> {target_site} would land "
+                        f"{arrived - begin:.3f}s after the transfer began, "
+                        f"exceeding the {timeout:g}s fragment timeout",
+                        fragment_index=consumer_index,
+                    )
+                    timeout_error.at = arrived
+                    raise timeout_error
+                trace_chunk(chunk, chunk_attempts, "delivered", now, seconds)
+                self.ledger.ack(
+                    producer_index, target_site, k, arrived, seconds, chunk.nbytes
+                )
+                connected = True
+                now = arrived  # the link frees up when this send lands
+                break
+
+        acks = self.ledger.acked(producer_index, target_site)
+        first = min(ack.at_seconds for ack in acks.values())
+        delivered = max(ack.at_seconds for ack in acks.values())
+        total_seconds = sum(ack.seconds for ack in acks.values())
+        attempts = self.ledger.attempts(producer_index, target_site)
+        if self.recorder is not None:
+            # Exactly one payload-carrying descriptor per logical
+            # transfer, stamped at the delivery instant; the per-chunk
+            # attempts above carry no payload of their own.
+            self._trace_attempt(
+                producer_index,
+                consumer_index,
+                source,
+                target_site,
+                batch,
+                wire.logical_bytes,
+                attempts,
+                "delivered",
+                delivered,
+                total_seconds,
+                wire_bytes=wire.wire_bytes,
+                chunks=total,
+            )
+        record = ShipRecord(
+            source=source,
+            target=target_site,
+            rows=len(batch.rows),
+            bytes=wire.logical_bytes,
+            seconds=total_seconds,
+            attempts=attempts,
+            retry_wait_seconds=self.ledger.wait_seconds(producer_index, target_site),
+            wire_bytes=wire.wire_bytes,
+            chunks=total,
+        )
+        return first, delivered, record
 
     def _trace_attempt(
         self,
@@ -741,6 +1016,8 @@ class _ChaosRun:
         outcome: str,
         at: float,
         seconds: float | None,
+        wire_bytes: int | None = None,
+        chunks: int | None = None,
     ) -> None:
         """Emit one ship-attempt event (coordinator thread only).  The
         emission *order* across independent fragments is racy, so the
@@ -775,6 +1052,8 @@ class _ChaosRun:
                 columns=list(batch.columns),
                 payload=payload,
                 staleness_at_read=staleness,
+                wire_bytes=wire_bytes,
+                chunks=chunks,
             ),
             stable=False,
         )
@@ -888,7 +1167,7 @@ class _ChaosRun:
         start = not_before
         records: list[tuple[int, ShipRecord, float]] = []
         for entry in fragment.inputs:
-            delivered, record = self._transfer(
+            _first, delivered, record = self._transfer(
                 entry.producer, fragment.location, not_before, consumer_index=index
             )
             records.append((entry.producer, record, delivered))
@@ -908,6 +1187,10 @@ class _ChaosRun:
             self.ship_records[producer] = record
             self.delivered[producer] = delivered
         self.ready[index] = start
+        # A re-placed fragment restarts from scratch at its new site:
+        # its inputs only just finished re-arriving, so there is no
+        # earlier first-output instant to stream from.
+        self.out_start[index] = start
 
     # -- accounting -------------------------------------------------------------
 

@@ -61,6 +61,7 @@ from ..plan import (
 from ..trace import current_recorder
 from .metrics import ExecutionMetrics
 from .operators import RowBatch
+from .wire import ShipConfig, encode_ship
 
 #: One column of values; scans yield tuples, computed columns are lists.
 Column = Sequence[Any]
@@ -136,10 +137,14 @@ class BatchOperatorExecutor:
         database: GeoDatabase,
         network: NetworkModel,
         metrics: ExecutionMetrics,
+        ship: ShipConfig | None = None,
     ) -> None:
         self.database = database
         self.network = network
         self.metrics = metrics
+        #: Wire format for SHIP edges (``None``/default = legacy
+        #: monolithic uncompressed transfers).
+        self.ship = ship or ShipConfig()
         self._child_seconds: list[float] = []
 
     # -- public API (row boundary) ---------------------------------------------
@@ -237,8 +242,26 @@ class BatchOperatorExecutor:
         assert node.child is not None
         batch = self.run_batch(node.child)
         nbytes = column_bytes(batch.data)
+        wire_bytes: int | None = None
+        chunks: int | None = None
+        if self.ship.active:
+            # The SHIP boundary is where columns leave the site anyway —
+            # encode for the wire and rebuild the batch from the
+            # *decoded* rows, keeping the codec on the data path.
+            wire = encode_ship(
+                batch.columns, batch.to_rows(), logical_bytes=nbytes, config=self.ship
+            )
+            wire_bytes = wire.wire_bytes
+            chunks = len(wire.chunks)
+            batch = ColumnBatch.from_rows(batch.columns, wire.decode_rows())
         self.metrics.record_ship(
-            self.network, node.source, node.target, batch.nrows, nbytes
+            self.network,
+            node.source,
+            node.target,
+            batch.nrows,
+            nbytes,
+            wire_bytes=wire_bytes,
+            chunks=1 if chunks is None else chunks,
         )
         recorder = current_recorder()
         if recorder is not None:
@@ -247,7 +270,13 @@ class BatchOperatorExecutor:
                 rows=batch.nrows,
                 nbytes=nbytes,
                 columns=batch.columns,
-                seconds=self.network.transfer_time(node.source, node.target, nbytes),
+                seconds=self.network.transfer_time(
+                    node.source,
+                    node.target,
+                    nbytes if wire_bytes is None else wire_bytes,
+                ),
+                wire_bytes=wire_bytes,
+                chunks=chunks,
             )
         return batch
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Iterable, Protocol
+from typing import Iterable, Protocol, Sequence
 
 from ..errors import (
     CircuitOpenError,
@@ -88,6 +88,25 @@ class NetworkModel:
         if src == dst:
             return 0.0
         return cost.alpha + cost.beta * nbytes
+
+    def chunked_transfer_time(
+        self, src: str, dst: str, chunk_sizes: "Sequence[float]"
+    ) -> list[float]:
+        """Per-chunk send durations for one logical transfer split into
+        ``chunk_sizes`` byte chunks.
+
+        The link's α latency is the cost of *establishing* the
+        connection, so it is charged once — on the first chunk — and
+        every chunk pays only its own ``β·bytes`` after that; the
+        durations sum to exactly ``transfer_time(sum(chunk_sizes))``.
+        Local moves are free per chunk, like the monolithic path."""
+        if src == dst:
+            return [0.0 for _ in chunk_sizes]
+        cost = self.link(src, dst)
+        return [
+            (cost.alpha if i == 0 else 0.0) + cost.beta * nbytes
+            for i, nbytes in enumerate(chunk_sizes)
+        ]
 
 
 class FaultModel(Protocol):
@@ -206,6 +225,57 @@ class FaultAwareNetwork(NetworkModel):
         return self.base.transfer_time(src, dst, nbytes) * self.faults.slow_factor(
             src, dst, when
         )
+
+    def attempt_chunk_transfer(
+        self, src: str, dst: str, nbytes: float, when: float, include_alpha: bool
+    ) -> float:
+        """Simulate sending one chunk of a streamed transfer at ``when``.
+
+        Faults, breakers, and slow-link degradation are consulted exactly
+        as in :meth:`attempt_transfer`; the only difference is the cost
+        shape: the link's α start-up is paid only when ``include_alpha``
+        is set (the connection's first chunk, or the first chunk after a
+        fault broke the connection), every other chunk pays ``β·bytes``
+        alone — so a fault-free streamed transfer bills exactly
+        ``α + β·wire_bytes``, never ``K·α``."""
+        for site in (src, dst):
+            if self.faults.site_down(site, when):
+                raise SiteUnavailableError(
+                    f"site {site!r} is down at t={when:.3f}s", site=site
+                )
+        if src == dst:
+            return 0.0
+        if self.breakers is not None and not self.breakers.allow(src, dst, when):
+            raise CircuitOpenError(
+                f"circuit breaker for {src} -> {dst} is open at t={when:.3f}s",
+                source=src,
+                target=dst,
+            )
+        outage = self.faults.link_down(src, dst, when)
+        if outage is not None:
+            if self.breakers is not None:
+                self.breakers.record_failure(src, dst, when)
+            transient = getattr(outage, "duration", None) is not None
+            raise TransferError(
+                f"link {src} -> {dst} is down at t={when:.3f}s",
+                source=src,
+                target=dst,
+                transient=transient,
+            )
+        if self.faults.link_flaky(src, dst, when) is not None:
+            if self.breakers is not None:
+                self.breakers.record_failure(src, dst, when)
+            raise TransferError(
+                f"transient failure on {src} -> {dst} at t={when:.3f}s",
+                source=src,
+                target=dst,
+                transient=True,
+            )
+        if self.breakers is not None:
+            self.breakers.record_success(src, dst, when)
+        cost = self.base.link(src, dst)
+        seconds = (cost.alpha if include_alpha else 0.0) + cost.beta * nbytes
+        return seconds * self.faults.slow_factor(src, dst, when)
 
 
 def _stable_fraction(token: str) -> float:

@@ -69,6 +69,15 @@ class ServerMetrics:
     #: data was stale at the admission instant (a subset of
     #: :attr:`replica_failovers`).
     freshness_demotions: int = 0
+    #: Logical (uncompressed) SHIP bytes across all executed queries —
+    #: the auditor's and cost model's billing basis.
+    logical_bytes_shipped: int = 0
+    #: Bytes actually put on the wire (equals the logical count unless a
+    #: compressed ship wire format was configured).
+    wire_bytes_shipped: int = 0
+    #: Wire chunks delivered across all executed queries (one per
+    #: transfer under the monolithic default).
+    chunks_shipped: int = 0
     #: Plan-cache lookups during this run that reused a cached template
     #: (0 when the optimizer carries no plan cache).
     plan_cache_hits: int = 0
@@ -131,6 +140,13 @@ class ServerMetrics:
                 if self.stale_reads
                 or self.refresh_waits
                 or self.freshness_demotions
+                else ""
+            )
+            + (
+                f"; {self.wire_bytes_shipped} wire bytes for "
+                f"{self.logical_bytes_shipped} logical "
+                f"({self.chunks_shipped} chunks)"
+                if self.wire_bytes_shipped != self.logical_bytes_shipped
                 else ""
             )
             + (

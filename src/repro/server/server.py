@@ -57,6 +57,7 @@ from ..execution.fragments import fragment_plan
 from ..execution.metrics import ExecutionMetrics
 from ..execution.recovery import RetryPolicy
 from ..execution.scheduler import FragmentScheduler
+from ..execution.wire import ShipConfig
 from ..geo import GeoDatabase, NetworkModel
 from ..plan import PhysicalPlan
 from ..trace import current_recorder
@@ -146,6 +147,7 @@ class QueryServer:
         executor: str = "row",
         max_workers: int | None = None,
         freshness=None,  # FreshnessPolicy | None — runtime staleness checks
+        ship: ShipConfig | None = None,
     ) -> None:
         self.database = database
         self.network = network
@@ -170,6 +172,7 @@ class QueryServer:
             executor=executor,
             breakers=breakers,
             freshness=freshness,
+            ship=ship,
         )
         self._plan_cache: dict[str, PhysicalPlan] = {}
 
@@ -462,6 +465,13 @@ class QueryServer:
                 metrics.freshness_demotions += (
                     outcome.metrics.freshness_demotions
                 )
+                metrics.logical_bytes_shipped += (
+                    outcome.metrics.total_bytes_shipped
+                )
+                metrics.wire_bytes_shipped += (
+                    outcome.metrics.total_wire_bytes_shipped
+                )
+                metrics.chunks_shipped += outcome.metrics.total_chunks_shipped
         metrics.finished_at_seconds = last_event
         if self.breakers is not None:
             metrics.breaker_trips = self.breakers.total_trips()

@@ -26,6 +26,7 @@ from .codec import (
 from .events import (
     EVENT_TYPES,
     SHIP_OUTCOMES,
+    ChunkEvent,
     OptimizedEvent,
     PlacementEvent,
     QueryEnd,
@@ -49,6 +50,7 @@ __all__ = [
     "AuditReport",
     "ComplianceAuditor",
     "ComplianceViolation",
+    "ChunkEvent",
     "EVENT_TYPES",
     "OptimizedEvent",
     "PlacementEvent",

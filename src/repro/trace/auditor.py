@@ -53,6 +53,7 @@ from ..policy import PolicyCatalog, PolicyEvaluator, describe_local_query
 from ..plan import LogicalPlan, LogicalScan, LogicalUnion
 from .codec import decode_logical, payload_reads, strip_payload_reads
 from .events import (
+    ChunkEvent,
     OptimizedEvent,
     RecoveryEvent,
     ScanReadEvent,
@@ -96,6 +97,9 @@ class AuditReport:
     queries: int = 0
     #: SHIP attempts audited (all outcomes, including failed attempts).
     attempts: int = 0
+    #: Chunk-send attempts of streamed transfers audited against their
+    #: logical transfer's single payload descriptor.
+    chunk_attempts: int = 0
     #: Audited attempts that crossed a border (source != target).
     cross_border: int = 0
     #: Distinct payload descriptors whose permitted sets were derived.
@@ -128,6 +132,8 @@ class AuditReport:
             f"{self.attempts} transfer attempts ({self.cross_border} "
             f"cross-border), {self.payloads} distinct payloads"
         )
+        if self.chunk_attempts:
+            text += f"; {self.chunk_attempts} chunk attempts"
         if self.scan_reads:
             text += (
                 f"; {self.scan_reads} replica reads ({self.fresh_reads} fresh, "
@@ -204,12 +210,27 @@ class ComplianceAuditor:
         #: (collected up front — auditing must not depend on event
         #: order) with the constructor's bound as the fallback.
         bounds: dict[int, float] = {}
+        #: Chunk events carry no payload; they join to the one payload
+        #: descriptor of their logical transfer (collected up front —
+        #: the rolled-up ship event is stamped at the *delivery*
+        #: instant, after every chunk it summarizes).
+        transfer_payloads: dict[tuple, dict[str, Any]] = {}
         for event in events:
             if (
                 isinstance(event, OptimizedEvent)
                 and event.max_staleness is not None
             ):
                 bounds[event.query] = event.max_staleness
+            if isinstance(event, ShipEvent) and event.payload is not None:
+                key = (
+                    event.query,
+                    event.producer,
+                    event.consumer,
+                    event.source,
+                    event.target,
+                )
+                transfer_payloads.setdefault(key, event.payload)
+                transfer_payloads.setdefault(key[:3], event.payload)
         for event in events:
             report.events += 1
             if event.query:
@@ -220,6 +241,10 @@ class ComplianceAuditor:
                 self._audit_scan_read(
                     event, bounds.get(event.query, self.max_staleness), report
                 )
+                continue
+            if isinstance(event, ChunkEvent):
+                report.chunk_attempts += 1
+                self._audit_chunk(event, transfer_payloads, report)
                 continue
             if not isinstance(event, ShipEvent):
                 continue
@@ -283,6 +308,72 @@ class ComplianceAuditor:
                         f"ship {event.bytes} bytes of a payload permitted only "
                         f"at {sorted(permitted)} from {event.source} to "
                         f"{event.target}"
+                    ),
+                )
+            )
+
+    def _audit_chunk(
+        self,
+        event: ChunkEvent,
+        transfer_payloads: dict[tuple, "dict[str, Any]"],
+        report: AuditReport,
+    ) -> None:
+        """Audit one chunk-send attempt against the payload descriptor
+        of its logical transfer.
+
+        The exact join key includes source and target; when it misses
+        (e.g. a tampered chunk destination no rolled-up ship event ever
+        announced) the auditor falls back to the transfer identity alone
+        so the chunk is still judged against the payload it belongs to —
+        and a chunk that cannot be tied to any payload is unauditable,
+        itself a violation."""
+        payload = transfer_payloads.get(
+            (event.query, event.producer, event.consumer, event.source, event.target)
+        ) or transfer_payloads.get((event.query, event.producer, event.consumer))
+        if payload is None:
+            report.violations.append(
+                ComplianceViolation(
+                    query=event.query,
+                    at=event.at,
+                    category="unauditable",
+                    source=event.source,
+                    target=event.target,
+                    permitted=(),
+                    message=(
+                        f"chunk {event.chunk}/{event.of} "
+                        f"{event.source} -> {event.target} belongs to no "
+                        f"payload-carrying transfer descriptor; compliance "
+                        f"cannot be proven"
+                    ),
+                )
+            )
+            return
+        key = json.dumps(
+            strip_payload_reads(payload),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        permitted = self._permitted_cache.get(key)
+        if permitted is None:
+            permitted = self.permitted_destinations(decode_logical(payload))
+            self._permitted_cache[key] = permitted
+        if event.source == event.target:
+            return
+        if event.target not in permitted:
+            report.violations.append(
+                ComplianceViolation(
+                    query=event.query,
+                    at=event.at,
+                    category="forbidden-destination",
+                    source=event.source,
+                    target=event.target,
+                    permitted=tuple(sorted(permitted)),
+                    message=(
+                        f"chunk {event.chunk}/{event.of} attempt "
+                        f"{event.attempt} ({event.outcome}) tried to send "
+                        f"{event.bytes} wire bytes of a payload permitted "
+                        f"only at {sorted(permitted)} from {event.source} "
+                        f"to {event.target}"
                     ),
                 )
             )

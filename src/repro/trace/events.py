@@ -145,6 +145,49 @@ class ShipEvent(TraceEvent):
     #: ``None`` when the producer read no replica (or no freshness
     #: policy was active); defaults keep pre-freshness traces parseable.
     staleness_at_read: float | None = None
+    #: Compressed bytes that actually crossed the link (``bytes`` stays
+    #: the logical uncompressed size).  ``None`` on legacy plain-wire
+    #: transfers — and then omitted from the serialized form entirely,
+    #: so non-streaming traces are byte-identical to earlier releases.
+    wire_bytes: int | None = None
+    #: Chunk count of a streamed transfer (omitted with ``wire_bytes``).
+    chunks: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        data = super().to_dict()
+        if data.get("wire_bytes") is None:
+            data.pop("wire_bytes", None)
+            data.pop("chunks", None)
+        return data
+
+
+@dataclass
+class ChunkEvent(TraceEvent):
+    """One chunk-send *attempt* of a streamed SHIP transfer.
+
+    Chunk events carry no payload descriptor: the auditor joins them to
+    the single rolled-up :class:`ShipEvent` of their logical transfer
+    via ``(query, producer, consumer, source, target)`` and re-derives
+    permitted destinations from that one payload — "exactly one payload
+    descriptor per logical transfer" stays true at any chunk size.
+    ``bytes`` is the chunk's *wire* (compressed) size."""
+
+    kind: ClassVar[str] = "chunk"
+    rank: ClassVar[int] = 4
+
+    source: str = ""
+    target: str = ""
+    #: Chunk index within the transfer, and the transfer's chunk count.
+    chunk: int = 0
+    of: int = 1
+    rows: int = 0
+    bytes: int = 0
+    attempt: int = 1
+    outcome: str = "delivered"
+    #: Simulated send seconds (delivered attempts only).
+    seconds: float | None = None
+    producer: int | None = None
+    consumer: int | None = None
 
 
 @dataclass
@@ -211,6 +254,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         PlacementEvent,
         RequestEvent,
         ShipEvent,
+        ChunkEvent,
         RecoveryEvent,
         ScanReadEvent,
         QueryEnd,
@@ -227,6 +271,7 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
     "placement": ("operator", "location"),
     "request": ("action", "label"),
     "ship": ("source", "target", "bytes", "attempt", "outcome"),
+    "chunk": ("source", "target", "chunk", "outcome"),
     "recovery": ("fragment", "source", "target"),
     "scan_read": ("database", "table", "site", "staleness_at_read"),
     "query_end": ("status",),
@@ -264,6 +309,6 @@ def event_from_dict(data: Any) -> TraceEvent:
         raise TraceFormatError(f"malformed {kind} event: {error}") from error
     if not isinstance(event.query, int) or not isinstance(event.at, (int, float)):
         raise TraceFormatError(f"{kind} event has mistyped query/at fields")
-    if isinstance(event, ShipEvent) and event.outcome not in SHIP_OUTCOMES:
-        raise TraceFormatError(f"unknown ship outcome {event.outcome!r}")
+    if isinstance(event, (ShipEvent, ChunkEvent)) and event.outcome not in SHIP_OUTCOMES:
+        raise TraceFormatError(f"unknown {kind} outcome {event.outcome!r}")
     return event

@@ -173,9 +173,13 @@ class TraceRecorder:
         nbytes: int,
         columns: list[str],
         seconds: float,
+        wire_bytes: int | None = None,
+        chunks: int | None = None,
     ) -> None:
         """A sequential-executor SHIP: exactly one attempt, delivered,
-        no simulated clock (``at`` stays 0.0)."""
+        no simulated clock (``at`` stays 0.0).  ``wire_bytes``/``chunks``
+        are set only when a wire config compressed or chunked the
+        transfer; ``nbytes`` is always the logical size."""
         assert node.child is not None
         self.emit(
             ShipEvent(
@@ -188,6 +192,8 @@ class TraceRecorder:
                 seconds=seconds,
                 columns=list(columns),
                 payload=encode_payload(node.child),
+                wire_bytes=wire_bytes,
+                chunks=chunks,
             )
         )
 

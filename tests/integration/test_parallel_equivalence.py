@@ -20,7 +20,12 @@ whenever independent fragments exist.
 
 import pytest
 
-from repro.execution import ExecutionEngine, fragment_plan, reference_plan
+from repro.execution import (
+    ExecutionEngine,
+    ShipConfig,
+    fragment_plan,
+    reference_plan,
+)
 from repro.optimizer import CompliantOptimizer, TraditionalOptimizer, normalize
 from repro.optimizer.compliant import _strip_sort
 from repro.sql import Binder
@@ -84,8 +89,28 @@ def traced_execute(engine, plan):
     return result, (len(delivered), sum(event.bytes for event in delivered))
 
 
+#: Small chunk size so even the 0.002-scale test batches actually split.
+STREAM = ShipConfig(chunk_rows=64, compression="auto")
+
+
+def streaming_engines(database, network, full=False):
+    """Streaming+compressed engines mirroring the monolithic baseline:
+    the (row, parallel) and (batch, sequential) corners by default, the
+    full row/batch x sequential/parallel matrix with ``full=True``."""
+    combos = [("row", True), ("batch", False)]
+    if full:
+        combos += [("row", False), ("batch", True)]
+    return [
+        ExecutionEngine(
+            database, network, parallel=par, executor=backend, ship=STREAM
+        )
+        for backend, par in combos
+    ]
+
+
 def check_equivalence(
-    catalog, optimizer, sequential, parallel, sql, batch_engines=()
+    catalog, optimizer, sequential, parallel, sql, batch_engines=(),
+    streaming="pair",
 ):
     core, _sort = _strip_sort(Binder(catalog).bind_sql(sql))
     expected = rows_as_multiset(
@@ -121,6 +146,31 @@ def check_equivalence(
         # Per-query trace agreement between the row and batch backends:
         # identical transfer counts and identical total SHIP bytes.
         assert batch_ships == seq_ships
+    for stream_engine in streaming_engines(
+        sequential.database, sequential.network, full=streaming == "full"
+    ):
+        # Chunked, compressed transfers sit on the data path (rows flow
+        # through the codec), so streaming must stay *byte-identical* on
+        # rows and bill the same logical SHIP bytes as monolithic — in
+        # the metrics and in the trace-derived per-query accounting —
+        # while putting no more bytes on the wire than it ships.
+        stream_run, stream_ships = traced_execute(stream_engine, plan)
+        assert stream_run.columns == seq_run.columns
+        assert stream_run.rows == seq_run.rows
+        assert (
+            stream_run.metrics.total_bytes_shipped
+            == seq_run.metrics.total_bytes_shipped
+        )
+        assert stream_ships == seq_ships
+        assert (
+            stream_run.metrics.total_wire_bytes_shipped
+            <= stream_run.metrics.total_bytes_shipped
+        )
+        if stream_engine.parallel:
+            assert (
+                stream_run.metrics.makespan_seconds
+                <= stream_run.metrics.shipping_seconds + 1e-9
+            )
     pairs = assert_makespan_invariants(plan, par_run.metrics)
     return par_run, pairs
 
@@ -130,7 +180,7 @@ def test_tpch_compliant_plans(world, name):
     catalog, compliant, _traditional, sequential, parallel, batch_seq, batch_par = world
     check_equivalence(
         catalog, compliant, sequential, parallel, QUERIES[name],
-        batch_engines=(batch_seq, batch_par),
+        batch_engines=(batch_seq, batch_par), streaming="full",
     )
 
 
@@ -139,7 +189,7 @@ def test_tpch_traditional_plans(world, name):
     catalog, _compliant, traditional, sequential, parallel, batch_seq, batch_par = world
     check_equivalence(
         catalog, traditional, sequential, parallel, QUERIES[name],
-        batch_engines=(batch_seq, batch_par),
+        batch_engines=(batch_seq, batch_par), streaming="full",
     )
 
 
@@ -230,6 +280,48 @@ def test_batch_executor_under_transient_chaos(world):
                 faults=faults,
                 retry_policy=RetryPolicy(max_retries=6),
                 policy_guard=compliant.evaluator,
+            )
+            result = chaotic.execute(plan)
+            key = (name, seed, str(faults))
+            assert result.partial_failure is None, key
+            assert result.columns == baseline.columns, key
+            assert rows_as_multiset(result.rows) == rows_as_multiset(
+                baseline.rows
+            ), key
+            retried += result.metrics.transfer_attempts > len(result.metrics.ships)
+    assert retried >= 3  # the chaos actually bit somewhere
+
+
+def test_streaming_executor_under_transient_chaos(world):
+    """Chunk-granular retry under seeded transient faults: the
+    streaming+compressed scheduler must stay row-identical to the
+    fault-free sequential baseline on every curated TPC-H query and
+    keep billing logical bytes, with at least one combo retrying."""
+    from repro.execution import FaultPlan, RetryPolicy
+
+    catalog, compliant, _trad, sequential, _par, _bseq, _bpar = world
+    database = sequential.database
+    network = sequential.network
+    retried = 0
+    for name, sql in sorted(QUERIES.items()):
+        core, _sort = _strip_sort(Binder(catalog).bind_sql(sql))
+        plan = compliant.optimize(core).plan
+        baseline = sequential.execute(plan)
+        pairs = [
+            (s.source, s.target)
+            for s in baseline.metrics.ships
+            if s.source != s.target
+        ]
+        for seed in (0, 1, 2):
+            faults = FaultPlan.random(seed, catalog.locations, pairs=pairs or None)
+            chaotic = ExecutionEngine(
+                database,
+                network,
+                parallel=True,
+                faults=faults,
+                retry_policy=RetryPolicy(max_retries=6),
+                policy_guard=compliant.evaluator,
+                ship=STREAM,
             )
             result = chaotic.execute(plan)
             key = (name, seed, str(faults))
